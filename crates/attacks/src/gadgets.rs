@@ -1,0 +1,236 @@
+//! Attack gadget programs.
+//!
+//! Each builder returns a complete program (victim + attacker + receiver)
+//! plus its initial memory image. All gadgets finish with the timed probe
+//! loop from [`crate::receiver`], so a single simulator run produces the
+//! attacker's measurement.
+//!
+//! A shared convention: the victim architecturally touches its secret once
+//! at program start (a victim that never uses its secret has nothing to
+//! steal); the *attacker* never accesses it architecturally.
+
+use crate::layout::*;
+use crate::receiver::emit_probe_loop;
+use levioso_isa::reg::*;
+use levioso_isa::{Program, ProgramBuilder};
+
+/// Address holding the v2 training dummy transmit value.
+pub const DUMMY_ADDR: u64 = 0x34_0000;
+
+/// A gadget program plus its initial memory image.
+#[derive(Debug, Clone)]
+pub struct Gadget {
+    /// The complete attack program (gadget + receiver).
+    pub program: Program,
+    /// Initial memory contents (address, value) pairs.
+    pub memory: Vec<(u64, i64)>,
+}
+
+/// Victim prologue: architecturally touch the secret (and fence) so the
+/// transient gadget later finds it cached/ready.
+fn emit_victim_uses_secret(b: &mut ProgramBuilder) {
+    b.li(T3, SECRET_ADDR as i64);
+    b.ld(T4, T3, 0);
+    b.fence();
+}
+
+/// Spectre-v1: bounds-check bypass.
+///
+/// A victim loop checks `idx < len` before reading `table[idx]` and
+/// transmitting `oracle[table[idx] * 64]`. The attacker supplies in-bounds
+/// indices for [`TRAIN_ITERS`] iterations (training the predictor
+/// not-taken and transmitting only the harmless spill line), keeps `len`
+/// flushed so the check resolves slowly, then supplies [`V1_OOB_INDEX`] —
+/// which points the table read at the secret.
+pub fn spectre_v1(secret: usize) -> Gadget {
+    assert!(secret < ORACLE_LINES, "secret must fit the oracle");
+    let mut b = ProgramBuilder::new("spectre_v1");
+    emit_victim_uses_secret(&mut b);
+    b.li(S0, 0); // iteration
+    b.li(S1, TRAIN_ITERS); // the attack iteration index
+    b.li(S2, TABLE as i64);
+    b.li(S3, ORACLE as i64);
+    b.li(S4, LEN_ADDR as i64);
+    b.li(S5, CTRL_ARRAY as i64);
+    b.label("loop");
+    b.slli(T3, S0, 3);
+    b.add(T3, T3, S5);
+    b.ld(A0, T3, 0); // this iteration's index
+    b.ld(T4, S4, 0); // len — cold every iteration (flushed below)
+    b.flush(S4, 0);
+    b.bgeu(A0, T4, "skip"); // the bounds check
+    // --- victim gadget (architectural when in bounds) ---
+    b.slli(T5, A0, 3);
+    b.add(T5, T5, S2);
+    b.ld(T6, T5, 0); // table[idx]
+    b.slli(T6, T6, 6);
+    b.add(T6, T6, S3);
+    b.ld(A1, T6, 0); // transmit
+    b.label("skip");
+    b.addi(S0, S0, 1);
+    b.bge(S1, S0, "loop"); // while iteration <= TRAIN_ITERS
+    emit_probe_loop(&mut b);
+    b.halt();
+
+    let mut memory = vec![(LEN_ADDR, V1_LEN), (SECRET_ADDR, secret as i64)];
+    // In-bounds table entries transmit the unprobed spill line.
+    for i in 0..V1_LEN {
+        memory.push((TABLE + 8 * i as u64, DUMMY_VALUE));
+    }
+    // Attacker-chosen indices: in-bounds during training, then the OOB hit.
+    for i in 0..TRAIN_ITERS {
+        memory.push((CTRL_ARRAY + 8 * i as u64, i % V1_LEN));
+    }
+    memory.push((CTRL_ARRAY + 8 * TRAIN_ITERS as u64, V1_OOB_INDEX as i64));
+    Gadget { program: b.build().expect("v1 builds"), memory }
+}
+
+/// Spectre-v2 style: indirect-target poisoning.
+///
+/// An indirect jump is trained to a transmit gadget for [`TRAIN_ITERS`]
+/// iterations (transmitting only the harmless dummy line). On the final
+/// iteration the *architectural* target — loaded from a cold line so the
+/// jump resolves slowly — is a benign block, but the target buffer still
+/// predicts the gadget, which transiently transmits the secret.
+pub fn spectre_v2(secret: usize) -> Gadget {
+    assert!(secret < ORACLE_LINES);
+    let benign_tgt_addr = CTRL_ARRAY + 0x1000; // separate, never-warmed line
+    let mut b = ProgramBuilder::new("spectre_v2");
+    emit_victim_uses_secret(&mut b);
+    b.li(S0, 0);
+    b.li(S1, TRAIN_ITERS);
+    b.li(S3, ORACLE as i64);
+    b.li(S5, CTRL_ARRAY as i64);
+    b.label("loop");
+    // Transmit-source pointer: dummy while training, the secret last.
+    b.li(A3, DUMMY_ADDR as i64);
+    b.blt(S0, S1, "src_ok");
+    b.li(A3, SECRET_ADDR as i64);
+    b.label("src_ok");
+    // Target-slot address: per-iteration slot while training (warm), the
+    // far cold slot on the attack iteration.
+    b.slli(T3, S0, 3);
+    b.add(T3, T3, S5);
+    b.blt(S0, S1, "tgt_ok");
+    b.li(T3, benign_tgt_addr as i64);
+    b.label("tgt_ok");
+    b.ld(T4, T3, 0);
+    b.jr(T4); // the poisoned indirect jump
+    b.label("gadget");
+    b.ld(T5, A3, 0); // dummy (training) or secret (transient)
+    b.slli(T5, T5, 6);
+    b.add(T5, T5, S3);
+    b.ld(T6, T5, 0); // transmit
+    b.j("join");
+    b.label("benign");
+    b.nop();
+    b.label("join");
+    b.addi(S0, S0, 1);
+    b.bge(S1, S0, "loop");
+    emit_probe_loop(&mut b);
+    b.halt();
+
+    let program = b.build().expect("v2 builds");
+    let gadget_pc = program.label("gadget").expect("gadget label") as i64;
+    let benign_pc = program.label("benign").expect("benign label") as i64;
+    let mut memory = vec![(SECRET_ADDR, secret as i64), (DUMMY_ADDR, DUMMY_VALUE)];
+    for i in 0..TRAIN_ITERS {
+        memory.push((CTRL_ARRAY + 8 * i as u64, gadget_pc));
+    }
+    memory.push((benign_tgt_addr, benign_pc));
+    Gadget { program, memory }
+}
+
+/// Constant-time-victim gadget: the secret reaches a register through a
+/// **non-speculative** load (the victim's normal, constant-time use of its
+/// key); only the branch steering into the transmit sequence is transient.
+/// This is the case sandbox-model defenses (STT) do not cover.
+pub fn ct_secret(secret: usize) -> Gadget {
+    assert!(secret < ORACLE_LINES);
+    let mut b = ProgramBuilder::new("ct_secret");
+    b.li(A2, SECRET_ADDR as i64);
+    b.ld(S6, A2, 0); // architectural secret load
+    b.fence(); // definitively non-speculative
+    b.li(A1, COND_ADDR as i64);
+    b.li(A3, ORACLE as i64);
+    b.ld(T3, A1, 0); // slow (cold) condition, value 1
+    b.bnez(T3, "skip"); // predicted not-taken (cold counters), actually taken
+    // --- transient path ---
+    b.slli(T4, S6, 6);
+    b.add(T4, T4, A3);
+    b.ld(T5, T4, 0); // transmit the architectural secret
+    b.label("skip");
+    emit_probe_loop(&mut b);
+    b.halt();
+    Gadget {
+        program: b.build().expect("ct builds"),
+        memory: vec![(SECRET_ADDR, secret as i64), (COND_ADDR, 1)],
+    }
+}
+
+/// SpectreRSB-style gadget: a function overwrites its return address with
+/// a value from a **cold** load, so its `ret` resolves slowly while the
+/// return-address stack still predicts the original call site — which
+/// contains a transmit of the architectural secret. The correct return
+/// target skips the gadget, so the transmit only ever executes
+/// transiently.
+pub fn spectre_rsb(secret: usize) -> Gadget {
+    assert!(secret < ORACLE_LINES);
+    let ret_target_addr: u64 = 0x35_0000; // cold line holding the real return target
+    let mut b = ProgramBuilder::new("spectre_rsb");
+    b.li(A2, SECRET_ADDR as i64);
+    b.ld(S6, A2, 0); // architectural secret
+    b.li(A3, ORACLE as i64);
+    b.fence();
+    b.call("victim");
+    // --- original return site: the transmit gadget (RAS predicts here) ---
+    b.slli(T4, S6, 6);
+    b.add(T4, T4, A3);
+    b.ld(T5, T4, 0); // transient transmit
+    b.label("after_gadget");
+    emit_probe_loop(&mut b);
+    b.halt();
+    b.label("victim");
+    // Replace the return address with `after_gadget`, loaded from a cold
+    // line so the ret's target resolves late.
+    b.li(T3, ret_target_addr as i64);
+    b.ld(RA, T3, 0);
+    b.ret(); // RAS predicts the original call site; actual skips the gadget
+    let program = b.build().expect("rsb builds");
+    let after = program.label("after_gadget").expect("label") as i64;
+    Gadget {
+        program,
+        memory: vec![(SECRET_ADDR, secret as i64), (ret_target_addr, after)],
+    }
+}
+
+/// Post-reconvergence φ gadget: the transmit sits *after* the branch's
+/// reconvergence point (so it is **not** control-dependent on it) but its
+/// address is a φ value defined differently on the two arms. Exposes
+/// control-only dependency tracking: without dataflow closure the transmit
+/// looks branch-independent and leaks.
+pub fn phi_gadget(secret: usize) -> Gadget {
+    assert!(secret < ORACLE_LINES);
+    let mut b = ProgramBuilder::new("phi_gadget");
+    b.li(A2, SECRET_ADDR as i64);
+    b.ld(S6, A2, 0); // architectural secret
+    b.fence();
+    b.li(A1, COND_ADDR as i64);
+    b.li(A3, ORACLE as i64);
+    b.ld(T3, A1, 0); // slow condition, value 1
+    b.bnez(T3, "other"); // predicted not-taken, actually taken
+    b.mv(T4, S6); // wrong path: φ = secret
+    b.j("join");
+    b.label("other");
+    b.li(T4, DUMMY_VALUE); // correct path: φ = spill line
+    b.label("join");
+    b.slli(T5, T4, 6);
+    b.add(T5, T5, A3);
+    b.ld(T6, T5, 0); // post-reconvergence transmit
+    emit_probe_loop(&mut b);
+    b.halt();
+    Gadget {
+        program: b.build().expect("phi builds"),
+        memory: vec![(SECRET_ADDR, secret as i64), (COND_ADDR, 1)],
+    }
+}

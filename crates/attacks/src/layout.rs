@@ -1,0 +1,74 @@
+//! Shared memory layout of the attack programs.
+//!
+//! All gadgets use one fixed data-address map so receivers, gadget
+//! builders, and tests agree on where everything lives.
+
+/// Number of oracle lines probed (one per possible secret value).
+pub const ORACLE_LINES: usize = 16;
+
+/// Cache-line stride between oracle entries (one line each).
+pub const LINE: u64 = 64;
+
+/// Victim table base (Spectre-v1 in-bounds region, 8-byte entries).
+pub const TABLE: u64 = 0x10_0000;
+
+/// Where the secret byte lives: `TABLE + V1_OOB_INDEX * 8`, so the v1
+/// out-of-bounds read lands exactly on it.
+pub const SECRET_ADDR: u64 = TABLE + V1_OOB_INDEX * 8;
+
+/// The out-of-bounds index used by the v1 attack iteration.
+pub const V1_OOB_INDEX: u64 = 512;
+
+/// Flush+reload oracle array base (16 lines + one spill line for the
+/// training dummy).
+pub const ORACLE: u64 = 0x20_0000;
+
+/// Victim bounds variable (`len`) for Spectre-v1.
+pub const LEN_ADDR: u64 = 0x30_0000;
+
+/// Branch-condition variable for the single-shot gadgets.
+pub const COND_ADDR: u64 = 0x31_0000;
+
+/// Per-iteration attacker indices (v1) / jump targets (v2).
+pub const CTRL_ARRAY: u64 = 0x32_0000;
+
+/// Receiver output: one measured latency (u64 cycles) per oracle line.
+pub const RESULT: u64 = 0x33_0000;
+
+/// Dummy transmit value used during v2 training; deliberately one past the
+/// probed lines so training pollution is invisible to the receiver.
+pub const DUMMY_VALUE: i64 = ORACLE_LINES as i64;
+
+/// In-bounds length of the v1 victim table.
+pub const V1_LEN: i64 = 8;
+
+/// Training iterations before the attack iteration.
+pub const TRAIN_ITERS: i64 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oob_index_lands_on_secret() {
+        assert_eq!(TABLE + V1_OOB_INDEX * 8, SECRET_ADDR);
+        assert!(V1_OOB_INDEX as i64 >= V1_LEN, "attack index must be out of bounds");
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [
+            (TABLE, TABLE + (V1_OOB_INDEX + 1) * 8),
+            (ORACLE, ORACLE + (ORACLE_LINES as u64 + 1) * LINE),
+            (LEN_ADDR, LEN_ADDR + 8),
+            (COND_ADDR, COND_ADDR + 8),
+            (CTRL_ARRAY, CTRL_ARRAY + 256),
+            (RESULT, RESULT + ORACLE_LINES as u64 * 8),
+        ];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(a.1 <= b.0 || b.1 <= a.0, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # levioso-attacks — transient-execution attacks for the evaluation
+//!
+//! End-to-end Spectre-style proofs of concept against the simulated core,
+//! used by the security evaluation (T2) of the [Levioso (DAC '24)]
+//! reproduction. Each attack is one program: victim gadget + attacker
+//! training + an **in-simulation flush+reload receiver** that times a load
+//! of every oracle cache line with serialized `rdcycle` pairs and writes
+//! the latencies to memory, exactly like a real PoC.
+//!
+//! ```
+//! use levioso_attacks::{run_attack, AttackKind};
+//! use levioso_core::Scheme;
+//! // Spectre-v1 recovers the planted secret on the unprotected core…
+//! let run = run_attack(AttackKind::SpectreV1, Scheme::Unsafe, 5);
+//! assert_eq!(run.inferred, Some(5));
+//! // …and recovers nothing under Levioso.
+//! let run = run_attack(AttackKind::SpectreV1, Scheme::Levioso, 5);
+//! assert_eq!(run.inferred, None);
+//! ```
+//!
+//! [Levioso (DAC '24)]: https://doi.org/10.1145/3649329.3655632
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gadgets;
+mod harness;
+pub mod layout;
+pub mod prime_probe;
+pub mod receiver;
+
+pub use gadgets::Gadget;
+pub use harness::{
+    attack_leaks, expected_matrix, run_attack, security_matrix, AttackKind, AttackRun, MatrixRow,
+};
+pub use prime_probe::{run_prime_probe, PrimeProbeResult};
+pub use receiver::{oracle_line, ProbeResult};

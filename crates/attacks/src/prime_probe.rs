@@ -1,0 +1,215 @@
+//! Prime+probe receiver: recovers the secret without ever sharing memory
+//! (no `flush`), by monitoring L1 **sets** instead of lines.
+//!
+//! The attacker primes the 16 L1 sets the oracle lines map to with its own
+//! eviction sets (8 ways × 4 KiB stride), lets the victim run, then re-times
+//! each eviction set: the set the transient load touched evicts one primed
+//! way, so its probe pays an L2 round-trip the others don't.
+//!
+//! Layout care: the victim's in-window accesses (the branch condition) and
+//! the receiver's own result stores are placed in L1 sets **outside** the
+//! monitored range so the only in-window disturbance is the transient load
+//! itself.
+
+use crate::layout::{ORACLE, ORACLE_LINES, SECRET_ADDR};
+use levioso_isa::reg::*;
+use levioso_isa::{Memory, ProgramBuilder};
+
+/// L1 geometry assumed by the eviction sets (matches
+/// `HierarchyConfig::default()`: 32 KiB, 8-way, 64 B lines → 64 sets,
+/// 4 KiB way stride).
+const L1_SETS: u64 = 64;
+const L1_WAYS: u64 = 8;
+const LINE: u64 = 64;
+const WAY_STRIDE: u64 = L1_SETS * LINE;
+
+/// Attacker's eviction-array base (set-aligned with the oracle).
+const EV_BASE: u64 = 0x60_0000;
+
+/// Branch-condition address for the prime+probe gadget: maps to L1 set 20,
+/// outside the monitored sets 0..16.
+pub const PP_COND_ADDR: u64 = 0x31_0000 + 20 * LINE;
+
+/// Receiver output for prime+probe: per-set total probe latency. Placed in
+/// L1 sets 32/33, outside the monitored range.
+pub const PP_RESULT: u64 = 0x33_0000 + 32 * LINE;
+
+/// The L1 set oracle line `i` maps to (the oracle base is set-aligned).
+fn monitored_set(i: usize) -> u64 {
+    ((ORACLE >> 6) + i as u64) % L1_SETS
+}
+
+/// Address of way `w` of the attacker's eviction set for `set`.
+fn ev_addr(set: u64, way: u64) -> u64 {
+    EV_BASE + set * LINE + way * WAY_STRIDE
+}
+
+/// Emits the prime phase: fill every monitored set with attacker lines.
+/// Clobbers `s8`, `s9`, `t0`.
+pub fn emit_prime(b: &mut ProgramBuilder) {
+    for i in 0..ORACLE_LINES {
+        let set = monitored_set(i);
+        for way in 0..L1_WAYS {
+            b.li(S8, ev_addr(set, way) as i64);
+            b.ld(S9, S8, 0);
+        }
+    }
+    b.fence();
+}
+
+/// Emits the probe phase: re-time each monitored set's eviction lines and
+/// store the per-set total latency to [`PP_RESULT`]. Clobbers `s8`–`s10`,
+/// `t0`–`t2`.
+pub fn emit_probe(b: &mut ProgramBuilder) {
+    b.fence();
+    for i in 0..ORACLE_LINES {
+        let set = monitored_set(i);
+        b.rdcycle(T1);
+        for way in 0..L1_WAYS {
+            b.li(S8, ev_addr(set, way) as i64);
+            b.ld(S9, S8, 0);
+            // Serialize between ways so each load's latency is exposed
+            // rather than overlapped away.
+            b.fence();
+        }
+        b.rdcycle(T2);
+        b.sub(T2, T2, T1);
+        b.li(S10, (PP_RESULT + 8 * i as u64) as i64);
+        b.sd(T2, S10, 0);
+    }
+}
+
+/// Prime+probe variant of the constant-time-secret gadget: no `flush`
+/// anywhere; the receiver works purely through cache contention.
+pub fn pp_ct_secret(secret: usize) -> crate::Gadget {
+    assert!(secret < ORACLE_LINES);
+    let mut b = ProgramBuilder::new("pp_ct_secret");
+    // Victim uses its secret architecturally, well before the window.
+    b.li(A2, SECRET_ADDR as i64);
+    b.ld(S6, A2, 0);
+    b.fence();
+    emit_prime(&mut b);
+    // Victim trigger: slow condition (set 20), mispredicted branch,
+    // transient transmit touching oracle[secret]'s set.
+    b.li(A1, PP_COND_ADDR as i64);
+    b.li(A3, ORACLE as i64);
+    b.ld(T3, A1, 0);
+    b.bnez(T3, "skip"); // predicted not-taken, actually taken
+    b.slli(T4, S6, 6);
+    b.add(T4, T4, A3);
+    b.ld(T5, T4, 0); // transient transmit
+    b.label("skip");
+    emit_probe(&mut b);
+    b.halt();
+    crate::Gadget {
+        program: b.build().expect("pp gadget builds"),
+        memory: vec![(SECRET_ADDR, secret as i64), (PP_COND_ADDR, 1)],
+    }
+}
+
+/// Per-set probe latencies read back from memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimeProbeResult {
+    /// Total reload latency per monitored set.
+    pub set_latencies: Vec<u64>,
+}
+
+impl PrimeProbeResult {
+    /// Reads the receiver's output after a run.
+    pub fn read_from(mem: &Memory) -> Self {
+        PrimeProbeResult {
+            set_latencies: (0..ORACLE_LINES as u64)
+                .map(|i| mem.read_u64(PP_RESULT + 8 * i))
+                .collect(),
+        }
+    }
+
+    /// Infers the secret: the unique set whose probe latency clearly
+    /// exceeds the quietest set (one way went to L2/DRAM). `None` when no
+    /// set, or more than one, stands out.
+    pub fn inferred_secret(&self) -> Option<usize> {
+        let min = *self.set_latencies.iter().min()?;
+        let noisy: Vec<usize> = self
+            .set_latencies
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > min + 10)
+            .map(|(i, _)| i)
+            .collect();
+        match noisy.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the prime+probe attack under `scheme` and returns what the
+/// receiver inferred.
+pub fn run_prime_probe(scheme: levioso_core::Scheme, secret: usize) -> PrimeProbeResult {
+    let crate::Gadget { mut program, memory } = pp_ct_secret(secret);
+    scheme.prepare(&mut program);
+    let mut sim =
+        levioso_uarch::Simulator::new(&program, levioso_uarch::CoreConfig::default());
+    for (a, v) in memory {
+        sim.mem.write_i64(a, v);
+    }
+    sim.run(scheme.policy().as_ref()).expect("pp gadget simulates");
+    PrimeProbeResult::read_from(&sim.mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_core::Scheme;
+
+    #[test]
+    fn monitored_sets_are_distinct_and_avoid_infrastructure() {
+        let sets: Vec<u64> = (0..ORACLE_LINES).map(monitored_set).collect();
+        let mut dedup = sets.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ORACLE_LINES, "each oracle line gets its own set");
+        let cond_set = (PP_COND_ADDR >> 6) % L1_SETS;
+        let result_set = (PP_RESULT >> 6) % L1_SETS;
+        assert!(!sets.contains(&cond_set), "condition load must not alias a monitored set");
+        assert!(!sets.contains(&result_set), "result stores must not alias a monitored set");
+        let secret_set = (SECRET_ADDR >> 6) % L1_SETS;
+        // The secret's architectural load happens before priming, so
+        // aliasing is harmless — but record the fact.
+        let _ = secret_set;
+    }
+
+    #[test]
+    fn prime_probe_recovers_secret_on_unsafe() {
+        for secret in [2usize, 9, 14] {
+            let r = run_prime_probe(Scheme::Unsafe, secret);
+            assert_eq!(
+                r.inferred_secret(),
+                Some(secret),
+                "latencies: {:?}",
+                r.set_latencies
+            );
+        }
+    }
+
+    #[test]
+    fn prime_probe_blocked_by_comprehensive_schemes() {
+        for scheme in [Scheme::Levioso, Scheme::ExecuteDelay, Scheme::Fence] {
+            let r = run_prime_probe(scheme, 9);
+            assert_eq!(
+                r.inferred_secret(),
+                None,
+                "{scheme} must silence prime+probe; latencies: {:?}",
+                r.set_latencies
+            );
+        }
+    }
+
+    #[test]
+    fn prime_probe_leaks_under_stt() {
+        // The transmitted value is an architectural secret: sandbox-model
+        // taint tracking does not stop it, through this channel either.
+        let r = run_prime_probe(Scheme::Stt, 5);
+        assert_eq!(r.inferred_secret(), Some(5));
+    }
+}

@@ -1,0 +1,131 @@
+//! The cache side-channel receiver.
+//!
+//! After a gadget (transiently) touches `oracle[secret * 64]`, the receiver
+//! times a load of every oracle line with serialized `rdcycle` pairs —
+//! flush+reload's measurement phase, executed *inside* the simulation — and
+//! stores the latencies to the `RESULT` array, where the harness reads them
+//! back.
+
+use crate::layout::{LINE, ORACLE, ORACLE_LINES, RESULT};
+use levioso_isa::reg::*;
+use levioso_isa::{Memory, ProgramBuilder};
+
+/// Emits the measurement loop. Clobbers `s8`–`s11` and `t0`–`t2`; must run
+/// after the gadget (it starts with a `fence` so all transient activity has
+/// drained).
+pub fn emit_probe_loop(b: &mut ProgramBuilder) {
+    b.fence();
+    b.li(S8, 0); // line index
+    b.li(S9, ORACLE as i64);
+    b.li(S10, RESULT as i64);
+    b.label(".probe");
+    // t0 = oracle + i * 64
+    b.slli(T0, S8, 6);
+    b.add(T0, T0, S9);
+    b.rdcycle(T1);
+    b.ld(T2, T0, 0);
+    b.rdcycle(T2); // overwrite loaded value; we only need timing
+    b.sub(T2, T2, T1);
+    // result[i] = latency
+    b.slli(T0, S8, 3);
+    b.add(T0, T0, S10);
+    b.sd(T2, T0, 0);
+    b.addi(S8, S8, 1);
+    b.li(T0, ORACLE_LINES as i64);
+    b.blt(S8, T0, ".probe");
+}
+
+/// Latencies measured by the in-simulation receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// One reload latency per oracle line.
+    pub latencies: Vec<u64>,
+}
+
+impl ProbeResult {
+    /// Reads the receiver's output from simulated memory after a run.
+    pub fn read_from(mem: &Memory) -> Self {
+        ProbeResult {
+            latencies: (0..ORACLE_LINES as u64)
+                .map(|i| mem.read_u64(RESULT + 8 * i))
+                .collect(),
+        }
+    }
+
+    /// The secret the receiver infers: the unique line whose reload was an
+    /// L1/L2-class hit while every other line paid a memory-class miss.
+    /// `None` when zero or several lines look hot (no clean signal).
+    pub fn inferred_secret(&self) -> Option<usize> {
+        let hot: Vec<usize> = self
+            .latencies
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l < 60)
+            .map(|(i, _)| i)
+            .collect();
+        match hot.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Whether line `i`'s reload latency is memory-class (cold).
+    pub fn is_cold(&self, i: usize) -> bool {
+        self.latencies[i] >= 60
+    }
+}
+
+/// The address of oracle line `i` (for direct cache-state checks).
+pub fn oracle_line(i: usize) -> u64 {
+    ORACLE + i as u64 * LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_isa::Machine;
+
+    #[test]
+    fn probe_loop_writes_all_slots_architecturally() {
+        let mut b = ProgramBuilder::new("probe");
+        emit_probe_loop(&mut b);
+        b.halt();
+        let p = b.build().unwrap();
+        // On the functional interpreter rdcycle counts retired
+        // instructions, so latencies are small but *written*.
+        let mut m = Machine::new();
+        m.run(&p, 100_000).unwrap();
+        let r = ProbeResult::read_from(&m.mem);
+        assert_eq!(r.latencies.len(), ORACLE_LINES);
+        assert!(r.latencies.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn inference_requires_a_unique_hot_line() {
+        let mut lat = vec![140u64; ORACLE_LINES];
+        let r = ProbeResult { latencies: lat.clone() };
+        assert_eq!(r.inferred_secret(), None, "all cold: no signal");
+        lat[7] = 4;
+        let r = ProbeResult { latencies: lat.clone() };
+        assert_eq!(r.inferred_secret(), Some(7));
+        lat[3] = 4;
+        let r = ProbeResult { latencies: lat };
+        assert_eq!(r.inferred_secret(), None, "two hot lines: ambiguous");
+    }
+
+    #[test]
+    fn probe_measures_real_cache_state_in_the_simulator() {
+        use levioso_uarch::{CoreConfig, Simulator, UnsafeBaseline};
+        // Architecturally touch oracle line 5, then probe.
+        let mut b = ProgramBuilder::new("warm5");
+        b.li(A0, oracle_line(5) as i64);
+        b.ld(A1, A0, 0);
+        emit_probe_loop(&mut b);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut sim = Simulator::new(&p, CoreConfig::default());
+        sim.run(&UnsafeBaseline).unwrap();
+        let r = ProbeResult::read_from(&sim.mem);
+        assert_eq!(r.inferred_secret(), Some(5), "latencies: {:?}", r.latencies);
+    }
+}

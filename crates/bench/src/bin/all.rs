@@ -1,0 +1,27 @@
+//! Regenerates every figure and table of the evaluation in order.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let scale = util::scale_from_env();
+    let t = levioso_bench::config_table();
+    util::emit("table1_config", &t.render(), None);
+    let f = levioso_bench::motivation_figure(scale);
+    util::emit("fig1_motivation", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::overhead_figure(scale);
+    util::emit("fig2_overhead", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::ablation_figure(scale);
+    util::emit("fig3_ablation", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::rob_sweep_figure(scale, &[64, 128, 224, 352]);
+    util::emit("fig4_rob_sweep", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::mem_sweep_figure(scale, &[60, 120, 240, 480]);
+    util::emit("fig5_mem_sweep", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::transient_fill_figure(scale);
+    util::emit("fig6_transient_fills", &f.render(), Some(f.to_json()));
+    let f = levioso_bench::annotation_cap_figure(scale, &[0, 1, 2, 3, 4, usize::MAX]);
+    util::emit("fig7_hint_budget", &f.render(), Some(f.to_json()));
+    let t = levioso_bench::security_table();
+    util::emit("table2_security", &t.render(), None);
+    let t = levioso_bench::annotation_table(scale);
+    util::emit("table3_annotation", &t.render(), None);
+}

@@ -1,0 +1,8 @@
+//! F1: conservative speculation shadow vs. true dependencies.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::motivation_figure(util::scale_from_env());
+    util::emit("fig1_motivation", &f.render(), Some(f.to_json()));
+}

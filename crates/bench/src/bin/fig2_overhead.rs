@@ -1,0 +1,17 @@
+//! F2: the headline overhead comparison (the paper's 51 % / 43 % -> 23 % claim).
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::overhead_figure(util::scale_from_env());
+    util::emit("fig2_overhead", &f.render(), Some(f.to_json()));
+    for scheme in [
+        levioso_core::Scheme::CommitDelay,
+        levioso_core::Scheme::ExecuteDelay,
+        levioso_core::Scheme::Levioso,
+    ] {
+        if let Some(g) = levioso_bench::geomean_of(&f, scheme) {
+            println!("geomean overhead {scheme}: {:.1}%", (g - 1.0) * 100.0);
+        }
+    }
+}

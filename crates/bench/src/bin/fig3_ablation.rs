@@ -1,0 +1,8 @@
+//! F3: Levioso variant ablation.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::ablation_figure(util::scale_from_env());
+    util::emit("fig3_ablation", &f.render(), Some(f.to_json()));
+}

@@ -1,0 +1,8 @@
+//! F4: sensitivity to reorder-buffer size.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::rob_sweep_figure(util::scale_from_env(), &[64, 128, 224, 352]);
+    util::emit("fig4_rob_sweep", &f.render(), Some(f.to_json()));
+}

@@ -1,0 +1,8 @@
+//! F5: sensitivity to DRAM latency.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::mem_sweep_figure(util::scale_from_env(), &[60, 120, 240, 480]);
+    util::emit("fig5_mem_sweep", &f.render(), Some(f.to_json()));
+}

@@ -1,0 +1,8 @@
+//! F6 (extension): residual transient cache activity per scheme.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::transient_fill_figure(util::scale_from_env());
+    util::emit("fig6_transient_fills", &f.render(), Some(f.to_json()));
+}

@@ -1,0 +1,11 @@
+//! F7 (extension): Levioso overhead vs annotation hint budget.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let f = levioso_bench::annotation_cap_figure(
+        util::scale_from_env(),
+        &[0, 1, 2, 3, 4, usize::MAX],
+    );
+    util::emit("fig7_hint_budget", &f.render(), Some(f.to_json()));
+}

@@ -1,0 +1,8 @@
+//! T1: print the simulated core configuration.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let t = levioso_bench::config_table();
+    util::emit("table1_config", &t.render(), None);
+}

@@ -1,0 +1,8 @@
+//! T2: the measured security matrix.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let t = levioso_bench::security_table();
+    util::emit("table2_security", &t.render(), None);
+}

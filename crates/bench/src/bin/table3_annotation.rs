@@ -1,0 +1,8 @@
+//! T3: annotation cost.
+#[path = "../util.rs"]
+mod util;
+
+fn main() {
+    let t = levioso_bench::annotation_table(util::scale_from_env());
+    util::emit("table3_annotation", &t.render(), None);
+}

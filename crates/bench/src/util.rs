@@ -1,0 +1,27 @@
+//! Shared output plumbing for the experiment binaries.
+
+use levioso_workloads::Scale;
+use std::path::Path;
+
+#[allow(dead_code)] // not every binary takes a scale
+/// Scale selected by the `LEVIOSO_SCALE` environment variable
+/// (`smoke`/`paper`; default `paper`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("LEVIOSO_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
+        _ => Scale::Paper,
+    }
+}
+
+/// Prints a rendered report and mirrors it (plus optional JSON) into
+/// `results/`.
+pub fn emit(id: &str, rendered: &str, json: Option<String>) {
+    println!("{rendered}");
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{id}.txt")), rendered);
+        if let Some(j) = json {
+            let _ = std::fs::write(dir.join(format!("{id}.json")), j);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The Levioso annotation pass: program → per-instruction true branch
+//! dependencies.
+//!
+//! This is the software half of the co-design. For every instruction it
+//! computes the set of conditional branches whose outcome the instruction
+//! truly depends on and encodes it as [`levioso_isa::Annotations`]:
+//!
+//! 1. **Control dependence** (always included): the transitive
+//!    Ferrante–Ottenstein–Warren control dependence computed from the
+//!    post-dominator tree — the region between each branch and its
+//!    reconvergence point.
+//! 2. **Static register dataflow closure** (optional,
+//!    [`AnnotateConfig::static_dataflow`]): an instruction inherits the
+//!    dependencies of every definition that may reach its operands. The
+//!    default configuration leaves this to the hardware's rename-time
+//!    propagation instead (see `levioso_core`), which is interprocedurally
+//!    sound; the static closure exists as the paper-style ablation and is
+//!    only sound for programs without cross-function data flows.
+//!
+//! Anything the analysis cannot prove well-formed — unreachable code,
+//! functions with branches into other functions, blocks with no path to an
+//! exit — is annotated [`DepSet::AllOlder`], which degrades those
+//! instructions to the hardware-only conservative behaviour (never to an
+//! unsound one).
+
+use crate::bitset::BitSet;
+use crate::cfg::{build_cfg, FunctionCfg, ProgramCfg};
+use crate::ctrldep::{control_dependence, ControlDeps};
+use crate::dataflow::ReachingDefs;
+use crate::dom::immediate_postdominators;
+use levioso_isa::{Annotations, DepSet, Program};
+
+/// Configuration for the annotation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnotateConfig {
+    /// Also close dependencies over static register dataflow (the "static
+    /// Levioso" ablation). Default `false`: control dependence only, with
+    /// dataflow propagation done in hardware.
+    pub static_dataflow: bool,
+}
+
+/// Whole-program analysis artifacts, exposed for inspection, tests, and the
+/// motivation experiment (F1).
+#[derive(Debug)]
+pub struct Analysis {
+    /// The per-function control-flow graphs.
+    pub cfg: ProgramCfg,
+    /// Per-function immediate post-dominators (indexed like
+    /// `cfg.functions`).
+    pub ipdoms: Vec<Vec<Option<usize>>>,
+    /// Per-function transitive control dependence.
+    pub ctrl: Vec<ControlDeps>,
+}
+
+impl Analysis {
+    /// Runs CFG construction, post-dominance, and control dependence.
+    pub fn of(program: &Program) -> Self {
+        let cfg = build_cfg(program);
+        let mut ipdoms = Vec::with_capacity(cfg.functions.len());
+        let mut ctrl = Vec::with_capacity(cfg.functions.len());
+        for f in &cfg.functions {
+            let ipdom = immediate_postdominators(f);
+            ctrl.push(control_dependence(f, program, &ipdom));
+            ipdoms.push(ipdom);
+        }
+        Analysis { cfg, ipdoms, ctrl }
+    }
+
+    /// The reconvergence point of the conditional branch at `branch_instr`:
+    /// the first instruction of its immediate post-dominator block. Returns
+    /// `None` for non-branches, unanalyzable code, or branches with no
+    /// reconvergence (paths that never rejoin before exit).
+    pub fn reconvergence_point(&self, program: &Program, branch_instr: u32) -> Option<u32> {
+        if !program.instrs.get(branch_instr as usize)?.is_branch() {
+            return None;
+        }
+        let fi = self.cfg.function_of.get(branch_instr as usize).copied().flatten()?;
+        let f = &self.cfg.functions[fi];
+        if !f.analyzable {
+            return None;
+        }
+        let b = f.block_of(branch_instr)?;
+        let reconv = self.ipdoms[fi][b]?;
+        if reconv == f.exit() {
+            None
+        } else {
+            Some(f.blocks[reconv].start)
+        }
+    }
+}
+
+/// Computes annotations for `program` under `config`.
+pub fn compute_annotations(program: &Program, config: &AnnotateConfig) -> Annotations {
+    let analysis = Analysis::of(program);
+    let n = program.instrs.len();
+    let mut sets: Vec<DepSet> = vec![DepSet::AllOlder; n];
+
+    let (entry_deps, entry_conservative) = interprocedural_entry_deps(program, &analysis);
+
+    for (fi, f) in analysis.cfg.functions.iter().enumerate() {
+        let ctrl = &analysis.ctrl[fi];
+        if !f.analyzable || !ctrl.complete || entry_conservative[fi] {
+            continue; // leave AllOlder
+        }
+        if config.static_dataflow {
+            annotate_function_static(program, f, ctrl, &mut sets);
+            // Add the interprocedural entry dependencies on top.
+            if !entry_deps[fi].is_empty() {
+                for i in f.instrs() {
+                    if let DepSet::Exact(v) = &mut sets[i as usize] {
+                        v.extend(entry_deps[fi].iter().copied());
+                        v.sort_unstable();
+                        v.dedup();
+                    }
+                }
+            }
+        } else {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let mut deps = ctrl.deps_of_block(bi);
+                deps.extend(entry_deps[fi].iter().copied());
+                deps.sort_unstable();
+                deps.dedup();
+                for i in b.instrs() {
+                    sets[i as usize] = DepSet::Exact(deps.clone());
+                }
+            }
+        }
+    }
+
+    Annotations::new(sets)
+}
+
+/// Interprocedural closure: a function's body is control-dependent on every
+/// branch guarding any of its (transitive) call sites, so each function
+/// inherits `entry_deps = ⋃ over call sites (local deps of the call ∪
+/// entry_deps of the caller)`. Functions called from unanalyzable code are
+/// flagged conservative. Call sites in statically unreachable code are
+/// ignored: with decode-time branch-target verification (which the
+/// simulated frontend performs), wrong-path fetch only ever follows static
+/// CFG paths, so statically unreachable code is fetched only behind an
+/// unresolved indirect jump — and indirect jumps are hardware barriers.
+fn interprocedural_entry_deps(
+    program: &Program,
+    analysis: &Analysis,
+) -> (Vec<std::collections::BTreeSet<u32>>, Vec<bool>) {
+    use std::collections::BTreeSet;
+    let nfuncs = analysis.cfg.functions.len();
+    let mut entry_deps: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nfuncs];
+    let mut conservative = vec![false; nfuncs];
+
+    // Map function entry instruction -> function index.
+    let entry_to_fi: std::collections::BTreeMap<u32, usize> = analysis
+        .cfg
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| (f.entry_instr, fi))
+        .collect();
+
+    // Collect reachable call sites: (caller fi, callee fi, call instr).
+    let mut call_sites: Vec<(usize, usize, u32)> = Vec::new();
+    for (i, ins) in program.instrs.iter().enumerate() {
+        if let levioso_isa::Instr::Jal { rd, target } = *ins {
+            if !rd.is_zero() {
+                let Some(caller) = analysis.cfg.function_of[i].map(Some).unwrap_or(None) else {
+                    continue; // unreachable call site
+                };
+                if let Some(&callee) = entry_to_fi.get(&target) {
+                    call_sites.push((caller, callee, i as u32));
+                }
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(caller, callee, call_instr) in &call_sites {
+            let caller_f = &analysis.cfg.functions[caller];
+            let caller_ctrl = &analysis.ctrl[caller];
+            if !caller_f.analyzable || !caller_ctrl.complete || conservative[caller] {
+                if !conservative[callee] {
+                    conservative[callee] = true;
+                    changed = true;
+                }
+                continue;
+            }
+            let mut add: BTreeSet<u32> = entry_deps[caller].clone();
+            if let Some(bi) = caller_f.block_of(call_instr) {
+                add.extend(caller_ctrl.deps_of_block(bi));
+            }
+            for d in add {
+                if entry_deps[callee].insert(d) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    (entry_deps, conservative)
+}
+
+/// Static variant: control dependence closed over register dataflow.
+fn annotate_function_static(
+    program: &Program,
+    f: &FunctionCfg,
+    ctrl: &ControlDeps,
+    sets: &mut [DepSet],
+) {
+    let rd = ReachingDefs::compute(f, program);
+    let nb = ctrl.branches.len();
+
+    // Dense instruction list of the function for fixpoint iteration.
+    let instrs: Vec<u32> = f.instrs().collect();
+    let pos_of = |i: u32| instrs.binary_search(&i).expect("function instruction");
+
+    // Initialise with block-level control dependence.
+    let mut dep_bits: Vec<BitSet> = instrs
+        .iter()
+        .map(|&i| {
+            let bi = f.block_of(i).expect("claimed instruction has a block");
+            ctrl.block_deps[bi].clone()
+        })
+        .collect();
+
+    // Fixpoint: inherit dependencies through reaching definitions.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (k, &i) in instrs.iter().enumerate() {
+            let ins = program.instrs[i as usize];
+            let mut inherit = BitSet::new(nb);
+            for src in ins.sources() {
+                for d in rd.reaching_at(f, program, i, src) {
+                    let (def_instr, _) = rd.defs[d];
+                    inherit.union_with(&dep_bits[pos_of(def_instr)]);
+                }
+            }
+            if dep_bits[k].union_with(&inherit) {
+                changed = true;
+            }
+        }
+    }
+
+    for (k, &i) in instrs.iter().enumerate() {
+        let mut v: Vec<u32> = dep_bits[k].iter().map(|b| ctrl.branches[b].1).collect();
+        v.sort_unstable();
+        sets[i as usize] = DepSet::Exact(v);
+    }
+}
+
+/// Annotates `program` in place with the default configuration (control
+/// dependence in the annotation, dataflow left to hardware propagation) and
+/// returns a reference to the annotations.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = levioso_isa::assemble("t", "beqz a0, x\nld a1, 0(a2)\nx: halt")?;
+/// levioso_compiler::annotate(&mut p);
+/// assert!(p.annotations.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn annotate(program: &mut Program) -> &Annotations {
+    annotate_with(program, &AnnotateConfig::default())
+}
+
+/// Annotates `program` in place under `config`.
+pub fn annotate_with<'p>(program: &'p mut Program, config: &AnnotateConfig) -> &'p Annotations {
+    let a = compute_annotations(program, config);
+    program.annotations = Some(a);
+    program.annotations.as_ref().expect("just set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_isa::assemble;
+
+    fn deps(program: &Program, a: &Annotations, i: u32) -> Vec<u32> {
+        let _ = program;
+        match a.deps_of(i as usize) {
+            DepSet::Exact(v) => v.clone(),
+            DepSet::AllOlder => panic!("instruction {i} unexpectedly conservative"),
+        }
+    }
+
+    #[test]
+    fn filter_scan_load_is_independent_of_filter_branch() {
+        // The canonical Levioso win: the next-element load (5) depends on
+        // the loop branch (6) but NOT on the data-dependent filter branch
+        // (2).
+        let mut p = assemble(
+            "filter",
+            r"
+            li   a0, 0          # 0  i = 0
+        loop:
+            ld   t0, 0(a1)      # 1  x = a[i]
+            blez t0, skip       # 2  filter branch (data dependent)
+            add  a2, a2, t0     # 3  sum += x
+        skip:
+            addi a1, a1, 8      # 4
+            addi a0, a0, 1      # 5
+            blt  a0, a3, loop   # 6  loop branch
+            halt                # 7
+        ",
+        )
+        .unwrap();
+        let a = annotate(&mut p).clone();
+        assert_eq!(deps(&p, &a, 3), vec![2, 6], "guarded work depends on filter + loop");
+        assert_eq!(deps(&p, &a, 1), vec![6], "the load depends only on the loop branch");
+        assert_eq!(deps(&p, &a, 4), vec![6]);
+        assert_eq!(deps(&p, &a, 7), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn static_dataflow_propagates_through_registers() {
+        // Post-reconvergence instruction consuming a value defined
+        // differently in the two arms must inherit the branch dependency in
+        // the static variant.
+        let mut p = assemble(
+            "phi",
+            r"
+            beqz a0, else     # 0
+            li   a1, 8        # 1
+            j    join         # 2
+        else:
+            li   a1, 16       # 3
+        join:
+            add  a2, a1, a3   # 4 consumes the phi value
+            add  a4, a3, a3   # 5 independent
+            halt              # 6
+        ",
+        )
+        .unwrap();
+        let a =
+            annotate_with(&mut p, &AnnotateConfig { static_dataflow: true }).clone();
+        assert_eq!(deps(&p, &a, 4), vec![0], "phi consumer inherits the branch");
+        assert_eq!(deps(&p, &a, 5), Vec::<u32>::new(), "independent add stays clean");
+        // Control-only variant leaves instruction 4 clean (hardware will
+        // propagate instead).
+        let c = compute_annotations(&p, &AnnotateConfig::default());
+        assert_eq!(deps(&p, &c, 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn static_dataflow_handles_loop_carried_deps() {
+        let mut p = assemble(
+            "loopdep",
+            r"
+            li   a0, 4         # 0
+            li   a1, 0         # 1
+        loop:
+            beqz a2, skip      # 2
+            addi a1, a1, 1     # 3  a1 defined under branch 2
+        skip:
+            addi a0, a0, -1    # 4
+            bnez a0, loop      # 5
+            add  a3, a1, a1    # 6  consumes a1 after the loop
+            halt               # 7
+        ",
+        )
+        .unwrap();
+        let a = annotate_with(&mut p, &AnnotateConfig { static_dataflow: true }).clone();
+        // a1's def at 3 is control-dependent on branches 2 and 5; the
+        // post-loop consumer inherits both through dataflow.
+        assert_eq!(deps(&p, &a, 6), vec![2, 5]);
+        // The independent decrement chain only carries the loop branch via
+        // its own loop-carried dataflow (4 depends on itself reaching
+        // around the back edge, which is control-dependent on 5).
+        assert_eq!(deps(&p, &a, 4), vec![5]);
+    }
+
+    #[test]
+    fn unreachable_code_is_conservative() {
+        let mut p = assemble("t", "halt\nld a0, 0(a1)").unwrap();
+        let a = annotate(&mut p).clone();
+        assert_eq!(*a.deps_of(1), DepSet::AllOlder);
+        assert_eq!(*a.deps_of(0), DepSet::Exact(vec![]));
+    }
+
+    #[test]
+    fn infinite_loop_function_is_conservative() {
+        let mut p = assemble("t", "x: beqz a0, x\nj x\nhalt").unwrap();
+        let a = annotate(&mut p).clone();
+        assert_eq!(*a.deps_of(0), DepSet::AllOlder);
+    }
+
+    #[test]
+    fn reconvergence_points() {
+        let p = assemble(
+            "t",
+            r"
+            beqz a0, else
+            nop
+            j join
+        else:
+            nop
+        join:
+            halt
+        ",
+        )
+        .unwrap();
+        let an = Analysis::of(&p);
+        assert_eq!(an.reconvergence_point(&p, 0), Some(4));
+        assert_eq!(an.reconvergence_point(&p, 1), None, "not a branch");
+    }
+
+    #[test]
+    fn annotations_validate_against_program() {
+        let mut p = assemble(
+            "t",
+            r"
+            li a0, 3
+        loop:
+            beqz a1, skip
+            addi a2, a2, 1
+        skip:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        annotate(&mut p);
+        p.validate().expect("annotated program still validates");
+    }
+
+    #[test]
+    fn callee_inherits_call_site_guards() {
+        let mut p = assemble(
+            "t",
+            r"
+            beqz a0, skip   # 0
+            call f          # 1
+        skip:
+            halt            # 2
+        f:
+            add a0, a0, a0  # 3
+            ret             # 4
+        ",
+        )
+        .unwrap();
+        let a = annotate(&mut p).clone();
+        assert_eq!(deps(&p, &a, 1), vec![0], "call site is control dependent");
+        // Callee body inherits the branch guarding its only call site.
+        assert_eq!(deps(&p, &a, 3), vec![0]);
+        assert_eq!(deps(&p, &a, 4), vec![0]);
+    }
+
+    #[test]
+    fn entry_deps_union_over_call_sites_and_nest() {
+        let mut p = assemble(
+            "t",
+            r"
+            beqz a0, second   # 0
+            call f            # 1
+            halt              # 2
+        second:
+            beqz a1, out      # 3
+            call f            # 4
+        out:
+            halt              # 5
+        f:
+            call g            # 6
+            ret               # 7
+        g:
+            nop               # 8
+            ret               # 9
+        ",
+        )
+        .unwrap();
+        let a = annotate(&mut p).clone();
+        // f is called under branch 0 (taken side of its fall-through) and
+        // under branches 0+3 on the second path: union = {0, 3}.
+        assert_eq!(deps(&p, &a, 6), vec![0, 3]);
+        // g inherits f's entry deps plus f-local deps of the call (none).
+        assert_eq!(deps(&p, &a, 8), vec![0, 3]);
+    }
+
+    #[test]
+    fn unconditional_call_keeps_callee_clean() {
+        let mut p = assemble(
+            "t",
+            r"
+            call f          # 0
+            halt            # 1
+        f:
+            add a0, a0, a0  # 2
+            ret             # 3
+        ",
+        )
+        .unwrap();
+        let a = annotate(&mut p).clone();
+        assert_eq!(deps(&p, &a, 2), Vec::<u32>::new());
+    }
+}

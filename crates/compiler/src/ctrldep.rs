@@ -1,0 +1,222 @@
+//! Control-dependence computation (Ferrante–Ottenstein–Warren).
+//!
+//! Block `X` is control-dependent on branch block `B` when `B` has one
+//! successor through which execution *must* reach `X` and another through
+//! which it may avoid `X` — equivalently, `X` post-dominates some successor
+//! of `B` but not `B` itself. The region control-dependent on `B` is
+//! exactly the code between `B` and its reconvergence point (its immediate
+//! post-dominator).
+//!
+//! Levioso needs the *transitive* closure: an instruction guarded by an
+//! inner branch that is itself guarded by an outer branch truly depends on
+//! both.
+
+use crate::bitset::BitSet;
+use crate::cfg::FunctionCfg;
+
+/// Control-dependence result for one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// Function-local branch list: `(block id, branch instruction index)`.
+    pub branches: Vec<(usize, u32)>,
+    /// For each block, the transitive set of branch ids (indices into
+    /// `branches`) it is control-dependent on.
+    pub block_deps: Vec<BitSet>,
+    /// Whether every block had a post-dominator; when false the caller must
+    /// fall back to conservative annotation for the affected blocks.
+    pub complete: bool,
+}
+
+impl ControlDeps {
+    /// Branch *instruction indices* (sorted) that `block` transitively
+    /// depends on.
+    pub fn deps_of_block(&self, block: usize) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.block_deps[block].iter().map(|b| self.branches[b].1).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Computes transitive control dependence for `cfg` given its immediate
+/// post-dominators (from [`crate::dom::immediate_postdominators`]).
+pub fn control_dependence(
+    cfg: &FunctionCfg,
+    program: &levioso_isa::Program,
+    ipdom: &[Option<usize>],
+) -> ControlDeps {
+    let branches = cfg.branch_points(program);
+    let n_blocks = cfg.blocks.len();
+    let n_branches = branches.len();
+    let mut block_deps = vec![BitSet::new(n_branches); n_blocks];
+    let mut complete = true;
+
+    // Direct dependence: for each branch B and each successor S of B's
+    // block, walk the post-dominator tree from S up to (exclusive) the
+    // reconvergence point ipdom(B), marking every block on the way.
+    for (bid, &(bblock, _)) in branches.iter().enumerate() {
+        let reconv = ipdom[bblock];
+        if reconv.is_none() {
+            complete = false;
+        }
+        for &s in &cfg.blocks[bblock].succs {
+            let mut runner = s;
+            loop {
+                if Some(runner) == reconv || runner == cfg.exit() {
+                    break;
+                }
+                block_deps[runner].insert(bid);
+                match ipdom[runner] {
+                    Some(up) if up != runner => runner = up,
+                    _ => {
+                        // No path to exit (infinite loop region): stop and
+                        // record incompleteness.
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Transitive closure over the control-dependence graph: a block
+    // inherits the dependencies of every branch it depends on.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for x in 0..n_blocks {
+            // Collect inherited sets first to appease the borrow checker.
+            let mut inherited: Vec<usize> = Vec::new();
+            for b in block_deps[x].iter() {
+                inherited.push(branches[b].0);
+            }
+            for src in inherited {
+                if src != x {
+                    let (a, b) = two_mut(&mut block_deps, x, src);
+                    changed |= a.union_with(b);
+                }
+            }
+        }
+    }
+
+    ControlDeps { branches, block_deps, complete }
+}
+
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::dom::immediate_postdominators;
+    use levioso_isa::{assemble, Program};
+
+    fn analyze(src: &str) -> (Program, crate::cfg::ProgramCfg, ControlDeps) {
+        let p = assemble("t", src).unwrap();
+        let cfg = build_cfg(&p);
+        let f = cfg.functions[0].clone();
+        let ipdom = immediate_postdominators(&f);
+        let deps = control_dependence(&f, &p, &ipdom);
+        (p, cfg, deps)
+    }
+
+    /// Instruction-level helper: branch instruction indices that the block
+    /// containing `instr` depends on.
+    fn deps_of_instr(cfg: &crate::cfg::ProgramCfg, deps: &ControlDeps, instr: u32) -> Vec<u32> {
+        let f = &cfg.functions[0];
+        deps.deps_of_block(f.block_of(instr).unwrap())
+    }
+
+    #[test]
+    fn diamond_arms_depend_join_does_not() {
+        let (_, cfg, deps) = analyze(
+            r"
+            beqz a0, else      # 0
+            addi a1, a1, 1     # 1 (then arm)
+            j join             # 2
+        else:
+            addi a1, a1, 2     # 3 (else arm)
+        join:
+            halt               # 4
+        ",
+        );
+        assert_eq!(deps_of_instr(&cfg, &deps, 1), vec![0]);
+        assert_eq!(deps_of_instr(&cfg, &deps, 3), vec![0]);
+        assert_eq!(deps_of_instr(&cfg, &deps, 4), Vec::<u32>::new(), "join is independent");
+        assert_eq!(deps_of_instr(&cfg, &deps, 0), Vec::<u32>::new(), "branch itself independent");
+        assert!(deps.complete);
+    }
+
+    #[test]
+    fn nested_if_is_transitively_dependent() {
+        let (_, cfg, deps) = analyze(
+            r"
+            beqz a0, end       # 0 outer
+            beqz a1, end       # 1 inner (depends on 0)
+            addi a2, a2, 1     # 2 (depends on 0 and 1)
+        end:
+            halt               # 3
+        ",
+        );
+        assert_eq!(deps_of_instr(&cfg, &deps, 1), vec![0]);
+        assert_eq!(deps_of_instr(&cfg, &deps, 2), vec![0, 1]);
+        assert_eq!(deps_of_instr(&cfg, &deps, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_branch_not_code_after() {
+        let (_, cfg, deps) = analyze(
+            r"
+            li a0, 3           # 0
+        loop:
+            addi a0, a0, -1    # 1
+            bnez a0, loop      # 2
+            addi a1, a1, 7     # 3 after loop
+            halt               # 4
+        ",
+        );
+        // The loop body block (1-2) is control-dependent on its own branch
+        // (the back edge decides whether another iteration executes).
+        assert_eq!(deps_of_instr(&cfg, &deps, 1), vec![2]);
+        // Code after the loop does not depend on the loop branch.
+        assert_eq!(deps_of_instr(&cfg, &deps, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn if_inside_loop() {
+        let (_, cfg, deps) = analyze(
+            r"
+            li a0, 4           # 0
+        loop:
+            beqz a1, skip      # 1 data-ish branch
+            addi a2, a2, 1     # 2 guarded work
+        skip:
+            addi a0, a0, -1    # 3 independent of branch 1
+            bnez a0, loop      # 4 loop branch
+            halt               # 5
+        ",
+        );
+        // Guarded work depends on both the if and the loop branch.
+        assert_eq!(deps_of_instr(&cfg, &deps, 2), vec![1, 4]);
+        // The post-if code in the loop depends only on the loop branch.
+        assert_eq!(deps_of_instr(&cfg, &deps, 3), vec![4]);
+        // The if branch itself depends on the loop branch.
+        assert_eq!(deps_of_instr(&cfg, &deps, 1), vec![4]);
+        assert_eq!(deps_of_instr(&cfg, &deps, 5), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn incomplete_when_no_postdominator() {
+        let (_, _, deps) = analyze("x: beqz a0, x\nj x\nhalt");
+        assert!(!deps.complete);
+    }
+}

@@ -1,0 +1,221 @@
+//! Dominator and post-dominator computation.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+//! Fast Dominance Algorithm"). Post-dominators are dominators of the
+//! reversed graph rooted at the virtual exit; the *immediate post-dominator
+//! of a branch block is its reconvergence point* — the key quantity of the
+//! authors' NOREBA analysis that Levioso reuses.
+
+use crate::cfg::FunctionCfg;
+
+/// Immediate dominators for a graph given as successor lists.
+///
+/// Returns `idom[v]` for every node; `idom[entry] == Some(entry)` by
+/// convention, and nodes unreachable from `entry` get `None`.
+///
+/// # Panics
+///
+/// Panics if `entry` is out of range.
+pub fn immediate_dominators(succs: &[Vec<usize>], entry: usize) -> Vec<Option<usize>> {
+    let n = succs.len();
+    assert!(entry < n, "entry {entry} out of range for {n} nodes");
+
+    // Reverse-postorder over reachable nodes (iterative DFS).
+    let mut postorder = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    visited[entry] = true;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if *i < succs[v].len() {
+            let s = succs[v][*i];
+            *i += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(v);
+            stack.pop();
+        }
+    }
+    let mut po_num = vec![usize::MAX; n];
+    for (num, &v) in postorder.iter().enumerate() {
+        po_num[v] = num;
+    }
+    let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+
+    // Predecessor lists restricted to reachable nodes.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &v in &rpo {
+        for &s in &succs[v] {
+            preds[s].push(v);
+        }
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry);
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while po_num[a] < po_num[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while po_num[b] < po_num[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in &rpo {
+            if v == entry {
+                continue;
+            }
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[v] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if new_idom != idom[v] && new_idom.is_some() {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Immediate post-dominators of a function CFG, over node ids
+/// `0..cfg.node_count()` where the last id is the virtual exit.
+///
+/// `ipdom[exit] == Some(exit)`; blocks with no path to the exit (infinite
+/// loops) get `None` and must be treated conservatively by callers.
+pub fn immediate_postdominators(cfg: &FunctionCfg) -> Vec<Option<usize>> {
+    let succs = cfg.succ_table();
+    let n = succs.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            rev[s].push(v);
+        }
+    }
+    immediate_dominators(&rev, cfg.exit())
+}
+
+/// Whether `a` dominates `b` under the given idom array (reflexive).
+pub fn dominates(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+    let mut v = b;
+    loop {
+        if v == a {
+            return true;
+        }
+        match idom[v] {
+            Some(p) if p != v => v = p,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use levioso_isa::assemble;
+
+    #[test]
+    fn chain_dominators() {
+        // 0 -> 1 -> 2
+        let succs = vec![vec![1], vec![2], vec![]];
+        let idom = immediate_dominators(&succs, 0);
+        assert_eq!(idom, vec![Some(0), Some(0), Some(1)]);
+        assert!(dominates(&idom, 0, 2));
+        assert!(dominates(&idom, 1, 2));
+        assert!(!dominates(&idom, 2, 1));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let idom = immediate_dominators(&succs, 0);
+        assert_eq!(idom[3], Some(0), "join is dominated by the fork, not an arm");
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let succs = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let idom = immediate_dominators(&succs, 0);
+        assert_eq!(idom[1], Some(0));
+        assert_eq!(idom[2], Some(1));
+        assert_eq!(idom[3], Some(2));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let succs = vec![vec![], vec![0]];
+        let idom = immediate_dominators(&succs, 0);
+        assert_eq!(idom, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn reconvergence_of_diamond_is_join() {
+        let p = assemble(
+            "t",
+            r"
+            beqz a0, else
+            addi a1, a1, 1
+            j join
+        else:
+            addi a1, a1, 2
+        join:
+            halt
+        ",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p);
+        let f = &cfg.functions[0];
+        let ipdom = immediate_postdominators(f);
+        let branch_block = f.block_of(0).unwrap();
+        let join_block = f.block_of(4).unwrap();
+        assert_eq!(ipdom[branch_block], Some(join_block));
+    }
+
+    #[test]
+    fn reconvergence_of_loop_branch_is_loop_exit() {
+        let p = assemble(
+            "t",
+            r"
+            li a0, 3
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p);
+        let f = &cfg.functions[0];
+        let ipdom = immediate_postdominators(f);
+        let loop_block = f.block_of(1).unwrap();
+        let exit_block = f.block_of(3).unwrap();
+        assert_eq!(ipdom[loop_block], Some(exit_block));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_postdominator() {
+        let p = assemble("t", "x: j x\nhalt").unwrap();
+        let cfg = build_cfg(&p);
+        let f = &cfg.functions[0];
+        let ipdom = immediate_postdominators(f);
+        let b = f.block_of(0).unwrap();
+        assert_eq!(ipdom[b], None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Abstract syntax tree of the Levi language.
+
+/// A complete Levi program: array declarations, the body of `fn main`, and
+/// zero-argument procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeviProgram {
+    /// Declared arrays (name, base data address). Elements are 8-byte
+    /// signed integers.
+    pub arrays: Vec<(String, u64)>,
+    /// Named integer constants.
+    pub consts: Vec<(String, i64)>,
+    /// Statements of `fn main()`.
+    pub body: Vec<Stmt>,
+    /// Zero-argument procedures (`fn name() { .. }`), in declaration order.
+    /// Procedures share the program-global variable namespace and may not
+    /// be (even mutually) recursive.
+    pub functions: Vec<(String, Vec<Stmt>)>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a new variable.
+    Let(String, Expr),
+    /// `name = expr;` — assigns an existing variable.
+    Assign(String, Expr),
+    /// `name[index] = expr;` — array store.
+    Store(String, Expr, Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `break;` — exits the innermost enclosing loop.
+    Break,
+    /// `continue;` — jumps to the innermost loop's condition check.
+    Continue,
+    /// `name();` — invokes a zero-argument procedure.
+    Call(String),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (RISC-V division semantics)
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (non-short-circuit: both sides evaluate, result is 0/1)
+    LAnd,
+    /// `||` (non-short-circuit)
+    LOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable or named constant reference.
+    Var(String),
+    /// Array element load: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e` (0/1 result).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}

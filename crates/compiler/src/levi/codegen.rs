@@ -1,0 +1,377 @@
+//! Code generation: Levi AST → lev64 program.
+//!
+//! A deliberately simple register allocator: every variable lives in its
+//! own register for the whole program (no spilling), and expressions
+//! evaluate Sethi–Ullman-style into a small temporary pool. This keeps the
+//! generated code predictable — which matters, because the evaluation
+//! workloads' branch/load structure must be auditable.
+
+use super::ast::{BinOp, Expr, LeviProgram, Stmt};
+use super::LeviError;
+use levioso_isa::reg::{self, Reg};
+use levioso_isa::{AluOp, BuildError, Program, ProgramBuilder};
+use std::collections::BTreeMap;
+
+/// Registers available for named variables (22 of them).
+const VAR_POOL: [Reg; 22] = [
+    reg::S0,
+    reg::S1,
+    reg::S2,
+    reg::S3,
+    reg::S4,
+    reg::S5,
+    reg::S6,
+    reg::S7,
+    reg::S8,
+    reg::S9,
+    reg::S10,
+    reg::S11,
+    reg::A0,
+    reg::A1,
+    reg::A2,
+    reg::A3,
+    reg::A4,
+    reg::A5,
+    reg::A6,
+    reg::A7,
+    reg::T5,
+    reg::T6,
+];
+
+/// Registers available as expression temporaries.
+const TEMP_POOL: [Reg; 5] = [reg::T0, reg::T1, reg::T2, reg::T3, reg::T4];
+
+/// Base data address of the per-procedure return-address save slots.
+/// Reserved: Levi programs must not place arrays below `0x10_0000`.
+pub const RA_SAVE_BASE: i64 = 0x0f_0000;
+
+struct Codegen {
+    b: ProgramBuilder,
+    vars: BTreeMap<String, Reg>,
+    arrays: BTreeMap<String, u64>,
+    consts: BTreeMap<String, i64>,
+    temp_depth: usize,
+    next_label: usize,
+    /// Innermost-last stack of (continue target, break target).
+    loop_stack: Vec<(String, String)>,
+    /// Declared procedure names (call targets).
+    functions: std::collections::BTreeSet<String>,
+}
+
+impl Codegen {
+    fn fresh_label(&mut self, tag: &str) -> String {
+        let n = self.next_label;
+        self.next_label += 1;
+        format!(".{tag}{n}")
+    }
+
+    fn alloc_temp(&mut self) -> Result<Reg, LeviError> {
+        let r = TEMP_POOL
+            .get(self.temp_depth)
+            .copied()
+            .ok_or(LeviError::ExprTooDeep { max: TEMP_POOL.len() })?;
+        self.temp_depth += 1;
+        Ok(r)
+    }
+
+    fn release_temp(&mut self) {
+        self.temp_depth -= 1;
+    }
+
+    fn var(&self, name: &str) -> Result<Reg, LeviError> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| LeviError::UndefinedVariable(name.to_string()))
+    }
+
+    fn array_base(&self, name: &str) -> Result<u64, LeviError> {
+        self.arrays
+            .get(name)
+            .copied()
+            .ok_or_else(|| LeviError::UndefinedArray(name.to_string()))
+    }
+
+    /// Evaluates `e` into a freshly-allocated temporary and returns it.
+    /// Callers must `release_temp()` when done with the value.
+    fn expr(&mut self, e: &Expr) -> Result<Reg, LeviError> {
+        match e {
+            Expr::Int(v) => {
+                let t = self.alloc_temp()?;
+                self.b.li(t, *v);
+                Ok(t)
+            }
+            Expr::Var(name) => {
+                if let Some(&c) = self.consts.get(name) {
+                    let t = self.alloc_temp()?;
+                    self.b.li(t, c);
+                    return Ok(t);
+                }
+                let src = self.var(name)?;
+                let t = self.alloc_temp()?;
+                self.b.mv(t, src);
+                Ok(t)
+            }
+            Expr::Index(name, idx) => {
+                let base = self.array_base(name)?;
+                let t = self.expr(idx)?;
+                self.b.slli(t, t, 3);
+                self.b.ld(t, t, base as i64);
+                Ok(t)
+            }
+            Expr::Neg(inner) => {
+                let t = self.expr(inner)?;
+                self.b.alu(AluOp::Sub, t, reg::ZERO, t);
+                Ok(t)
+            }
+            Expr::Not(inner) => {
+                let t = self.expr(inner)?;
+                self.b.alu_imm(AluOp::Sltu, t, t, 1); // seqz
+                Ok(t)
+            }
+            Expr::Bin(op, l, r) => {
+                let lt = self.expr(l)?;
+                let rt = self.expr(r)?;
+                self.bin_op(*op, lt, rt);
+                self.release_temp(); // rt
+                Ok(lt)
+            }
+        }
+    }
+
+    /// Emits `lt = lt <op> rt`.
+    fn bin_op(&mut self, op: BinOp, lt: Reg, rt: Reg) {
+        use AluOp::*;
+        let simple = |cg: &mut Self, a: AluOp| {
+            cg.b.alu(a, lt, lt, rt);
+        };
+        match op {
+            BinOp::Add => simple(self, Add),
+            BinOp::Sub => simple(self, Sub),
+            BinOp::Mul => simple(self, Mul),
+            BinOp::Div => simple(self, Div),
+            BinOp::Rem => simple(self, Rem),
+            BinOp::And => simple(self, And),
+            BinOp::Or => simple(self, Or),
+            BinOp::Xor => simple(self, Xor),
+            BinOp::Shl => simple(self, Sll),
+            BinOp::Shr => simple(self, Sra),
+            BinOp::Lt => simple(self, Slt),
+            BinOp::Gt => {
+                self.b.alu(Slt, lt, rt, lt);
+            }
+            BinOp::Le => {
+                self.b.alu(Slt, lt, rt, lt);
+                self.b.xori(lt, lt, 1);
+            }
+            BinOp::Ge => {
+                self.b.alu(Slt, lt, lt, rt);
+                self.b.xori(lt, lt, 1);
+            }
+            BinOp::Eq => {
+                self.b.alu(Sub, lt, lt, rt);
+                self.b.alu_imm(Sltu, lt, lt, 1); // seqz
+            }
+            BinOp::Ne => {
+                self.b.alu(Sub, lt, lt, rt);
+                self.b.alu(Sltu, lt, reg::ZERO, lt); // snez
+            }
+            BinOp::LAnd => {
+                self.b.alu(Sltu, lt, reg::ZERO, lt);
+                self.b.alu(Sltu, rt, reg::ZERO, rt);
+                self.b.alu(And, lt, lt, rt);
+            }
+            BinOp::LOr => {
+                self.b.alu(Or, lt, lt, rt);
+                self.b.alu(Sltu, lt, reg::ZERO, lt);
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LeviError> {
+        match s {
+            Stmt::Let(name, e) => {
+                if self.vars.contains_key(name) || self.consts.contains_key(name) {
+                    return Err(LeviError::Redefined(name.clone()));
+                }
+                let t = self.expr(e)?;
+                let r = *VAR_POOL
+                    .get(self.vars.len())
+                    .ok_or(LeviError::TooManyVariables { max: VAR_POOL.len() })?;
+                self.vars.insert(name.clone(), r);
+                self.b.mv(r, t);
+                self.release_temp();
+            }
+            Stmt::Assign(name, e) => {
+                let t = self.expr(e)?;
+                let r = self.var(name)?;
+                self.b.mv(r, t);
+                self.release_temp();
+            }
+            Stmt::Store(name, idx, value) => {
+                let base = self.array_base(name)?;
+                let ti = self.expr(idx)?;
+                let tv = self.expr(value)?;
+                self.b.slli(ti, ti, 3);
+                self.b.sd(tv, ti, base as i64);
+                self.release_temp();
+                self.release_temp();
+            }
+            Stmt::If(cond, then, els) => {
+                let else_l = self.fresh_label("else");
+                let end_l = self.fresh_label("endif");
+                let t = self.expr(cond)?;
+                self.b.beqz(t, if els.is_empty() { &end_l } else { &else_l });
+                self.release_temp();
+                for s in then {
+                    self.stmt(s)?;
+                }
+                if !els.is_empty() {
+                    self.b.j(&end_l);
+                    self.b.label(&else_l);
+                    for s in els {
+                        self.stmt(s)?;
+                    }
+                }
+                self.b.label(&end_l);
+            }
+            Stmt::While(cond, body) => {
+                let loop_l = self.fresh_label("loop");
+                let end_l = self.fresh_label("endloop");
+                self.b.label(&loop_l);
+                let t = self.expr(cond)?;
+                self.b.beqz(t, &end_l);
+                self.release_temp();
+                self.loop_stack.push((loop_l.clone(), end_l.clone()));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loop_stack.pop();
+                self.b.j(&loop_l);
+                self.b.label(&end_l);
+            }
+            Stmt::Break => {
+                let (_, brk) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .ok_or(LeviError::BreakOutsideLoop)?;
+                self.b.j(&brk);
+            }
+            Stmt::Continue => {
+                let (cont, _) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .ok_or(LeviError::ContinueOutsideLoop)?;
+                self.b.j(&cont);
+            }
+            Stmt::Call(name) => {
+                if !self.functions.contains(name) {
+                    return Err(LeviError::UndefinedFunction(name.clone()));
+                }
+                self.b.call(&format!(".fn_{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks the procedure call graph for (mutual) recursion, which the
+/// stackless calling convention cannot support.
+fn check_no_recursion(ast: &LeviProgram) -> Result<(), LeviError> {
+    fn calls(body: &[Stmt], out: &mut Vec<String>) {
+        for s in body {
+            match s {
+                Stmt::Call(n) => out.push(n.clone()),
+                Stmt::If(_, t, e) => {
+                    calls(t, out);
+                    calls(e, out);
+                }
+                Stmt::While(_, b) => calls(b, out),
+                _ => {}
+            }
+        }
+    }
+    let graph: std::collections::BTreeMap<&str, Vec<String>> = ast
+        .functions
+        .iter()
+        .map(|(n, b)| {
+            let mut c = Vec::new();
+            calls(b, &mut c);
+            (n.as_str(), c)
+        })
+        .collect();
+    // DFS cycle detection.
+    fn visit<'a>(
+        n: &'a str,
+        graph: &'a std::collections::BTreeMap<&str, Vec<String>>,
+        stack: &mut Vec<&'a str>,
+        done: &mut std::collections::BTreeSet<&'a str>,
+    ) -> Result<(), LeviError> {
+        if done.contains(n) {
+            return Ok(());
+        }
+        if stack.contains(&n) {
+            return Err(LeviError::RecursiveCall(n.to_string()));
+        }
+        stack.push(n);
+        if let Some(callees) = graph.get(n) {
+            for c in callees {
+                if let Some((key, _)) = graph.get_key_value(c.as_str()) {
+                    visit(key, graph, stack, done)?;
+                }
+            }
+        }
+        stack.pop();
+        done.insert(n);
+        Ok(())
+    }
+    let mut done = std::collections::BTreeSet::new();
+    for n in graph.keys() {
+        visit(n, &graph, &mut Vec::new(), &mut done)?;
+    }
+    Ok(())
+}
+
+/// Compiles a parsed Levi program to lev64.
+pub fn generate(name: &str, ast: &LeviProgram) -> Result<Program, LeviError> {
+    check_no_recursion(ast)?;
+    let mut cg = Codegen {
+        b: ProgramBuilder::new(name),
+        vars: BTreeMap::new(),
+        arrays: ast.arrays.iter().cloned().collect(),
+        consts: ast.consts.iter().cloned().collect(),
+        temp_depth: 0,
+        next_label: 0,
+        loop_stack: Vec::new(),
+        functions: ast.functions.iter().map(|(n, _)| n.clone()).collect(),
+    };
+    for s in &ast.body {
+        cg.stmt(s)?;
+    }
+    cg.b.halt();
+    // Procedure bodies follow main; each ends in `ret`. They share main's
+    // variable namespace (registers), so `let` inside a procedure declares
+    // a program-global name exactly as in main. Because recursion is
+    // rejected, each procedure gets one *static* return-address save slot
+    // (memory at RA_SAVE_BASE), which makes nested calls safe without a
+    // stack.
+    for (idx, (fname, body)) in ast.functions.iter().enumerate() {
+        let slot = RA_SAVE_BASE + 8 * idx as i64;
+        cg.b.label(&format!(".fn_{fname}"));
+        cg.b.sd(levioso_isa::reg::RA, levioso_isa::reg::ZERO, slot);
+        for s in body {
+            cg.stmt(s)?;
+        }
+        cg.b.load(
+            levioso_isa::MemWidth::D,
+            true,
+            levioso_isa::reg::RA,
+            levioso_isa::reg::ZERO,
+            slot,
+        );
+        cg.b.ret();
+    }
+    cg.b.build().map_err(|e: BuildError| LeviError::Codegen(e.to_string()))
+}

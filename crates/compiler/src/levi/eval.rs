@@ -1,0 +1,181 @@
+//! Direct AST evaluator for Levi — the differential-testing oracle for the
+//! code generator: `compile(..)` run on the lev64 interpreter must leave
+//! memory in exactly the state this evaluator computes.
+
+use super::ast::{BinOp, Expr, LeviProgram, Stmt};
+use super::LeviError;
+use levioso_isa::AluOp;
+use std::collections::BTreeMap;
+
+/// Final state of an evaluated Levi program.
+#[derive(Debug, Clone, Default)]
+pub struct EvalState {
+    /// Variable values at termination.
+    pub vars: BTreeMap<String, i64>,
+    /// Sparse memory contents: 8-byte-aligned address → value, for every
+    /// array cell ever read or written (reads of untouched cells are 0).
+    pub memory: BTreeMap<u64, i64>,
+    /// Statements executed (loop-bound guard).
+    pub steps: u64,
+}
+
+/// Evaluates `ast` with the given initial memory image (address → i64).
+///
+/// # Errors
+///
+/// Propagates name errors ([`LeviError::UndefinedVariable`] /
+/// [`LeviError::UndefinedArray`] / [`LeviError::Redefined`]) and
+/// [`LeviError::StepLimit`] if execution exceeds `max_steps`.
+pub fn eval(
+    ast: &LeviProgram,
+    initial_memory: &BTreeMap<u64, i64>,
+    max_steps: u64,
+) -> Result<EvalState, LeviError> {
+    let mut st = EvalState { memory: initial_memory.clone(), ..Default::default() };
+    let arrays: BTreeMap<&str, u64> =
+        ast.arrays.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let consts: BTreeMap<&str, i64> =
+        ast.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let functions: BTreeMap<&str, &[Stmt]> =
+        ast.functions.iter().map(|(n, b)| (n.as_str(), b.as_slice())).collect();
+    let ctx = Ctx { arrays: &arrays, consts: &consts, functions: &functions };
+    exec_block(&ast.body, &ctx, &mut st, max_steps)?;
+    Ok(st)
+}
+
+struct Ctx<'a> {
+    arrays: &'a BTreeMap<&'a str, u64>,
+    consts: &'a BTreeMap<&'a str, i64>,
+    functions: &'a BTreeMap<&'a str, &'a [Stmt]>,
+}
+
+/// Non-local control flow raised inside a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+fn exec_block(
+    body: &[Stmt],
+    ctx: &Ctx<'_>,
+    st: &mut EvalState,
+    max_steps: u64,
+) -> Result<Flow, LeviError> {
+    for s in body {
+        st.steps += 1;
+        if st.steps > max_steps {
+            return Err(LeviError::StepLimit { max_steps });
+        }
+        match s {
+            Stmt::Let(name, e) => {
+                let v = eval_expr(e, ctx, st)?;
+                if ctx.consts.contains_key(name.as_str()) || st.vars.contains_key(name) {
+                    return Err(LeviError::Redefined(name.clone()));
+                }
+                st.vars.insert(name.clone(), v);
+            }
+            Stmt::Assign(name, e) => {
+                let v = eval_expr(e, ctx, st)?;
+                if !st.vars.contains_key(name) {
+                    return Err(LeviError::UndefinedVariable(name.clone()));
+                }
+                st.vars.insert(name.clone(), v);
+            }
+            Stmt::Store(name, idx, value) => {
+                let base = *ctx
+                    .arrays
+                    .get(name.as_str())
+                    .ok_or_else(|| LeviError::UndefinedArray(name.clone()))?;
+                let i = eval_expr(idx, ctx, st)?;
+                let v = eval_expr(value, ctx, st)?;
+                st.memory.insert(base.wrapping_add((i as u64) << 3), v);
+            }
+            Stmt::If(cond, then, els) => {
+                let c = eval_expr(cond, ctx, st)?;
+                let body = if c != 0 { then } else { els };
+                match exec_block(body, ctx, st, max_steps)? {
+                    Flow::Normal => {}
+                    f => return Ok(f), // propagate to the enclosing loop
+                }
+            }
+            Stmt::While(cond, body) => loop {
+                st.steps += 1;
+                if st.steps > max_steps {
+                    return Err(LeviError::StepLimit { max_steps });
+                }
+                if eval_expr(cond, ctx, st)? == 0 {
+                    break;
+                }
+                match exec_block(body, ctx, st, max_steps)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => break,
+                }
+            },
+            Stmt::Break => return Ok(Flow::Break),
+            Stmt::Continue => return Ok(Flow::Continue),
+            Stmt::Call(name) => {
+                let body = *ctx
+                    .functions
+                    .get(name.as_str())
+                    .ok_or_else(|| LeviError::UndefinedFunction(name.clone()))?;
+                // Break/continue do not cross procedure boundaries.
+                exec_block(body, ctx, st, max_steps)?;
+            }
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn eval_expr(e: &Expr, ctx: &Ctx<'_>, st: &mut EvalState) -> Result<i64, LeviError> {
+    Ok(match e {
+        Expr::Int(v) => *v,
+        Expr::Var(name) => {
+            if let Some(&c) = ctx.consts.get(name.as_str()) {
+                c
+            } else {
+                *st.vars
+                    .get(name)
+                    .ok_or_else(|| LeviError::UndefinedVariable(name.clone()))?
+            }
+        }
+        Expr::Index(name, idx) => {
+            let base = *ctx
+                .arrays
+                .get(name.as_str())
+                .ok_or_else(|| LeviError::UndefinedArray(name.clone()))?;
+            let i = eval_expr(idx, ctx, st)?;
+            st.memory
+                .get(&base.wrapping_add((i as u64) << 3))
+                .copied()
+                .unwrap_or(0)
+        }
+        Expr::Neg(inner) => eval_expr(inner, ctx, st)?.wrapping_neg(),
+        Expr::Not(inner) => i64::from(eval_expr(inner, ctx, st)? == 0),
+        Expr::Bin(op, l, r) => {
+            let a = eval_expr(l, ctx, st)?;
+            let b = eval_expr(r, ctx, st)?;
+            match op {
+                BinOp::Add => AluOp::Add.eval(a, b),
+                BinOp::Sub => AluOp::Sub.eval(a, b),
+                BinOp::Mul => AluOp::Mul.eval(a, b),
+                BinOp::Div => AluOp::Div.eval(a, b),
+                BinOp::Rem => AluOp::Rem.eval(a, b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => AluOp::Sll.eval(a, b),
+                BinOp::Shr => AluOp::Sra.eval(a, b),
+                BinOp::Eq => i64::from(a == b),
+                BinOp::Ne => i64::from(a != b),
+                BinOp::Lt => i64::from(a < b),
+                BinOp::Le => i64::from(a <= b),
+                BinOp::Gt => i64::from(a > b),
+                BinOp::Ge => i64::from(a >= b),
+                BinOp::LAnd => i64::from(a != 0 && b != 0),
+                BinOp::LOr => i64::from(a != 0 || b != 0),
+            }
+        }
+    })
+}

@@ -1,0 +1,160 @@
+//! Lexer for the Levi source language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// One of the fixed punctuation/operator tokens.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "^", "@",
+];
+
+/// Tokenizes Levi source.
+///
+/// # Errors
+///
+/// Returns `(line, message)` on an unrecognized character or malformed
+/// literal.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, (usize, String)> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `//` to end of line.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Spanned { tok: Tok::Ident(source[start..i].to_string()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let radix = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                i += 2;
+                16
+            } else {
+                10
+            };
+            let digits_start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let body = source[digits_start..i].replace('_', "");
+            let text = if radix == 16 { &body } else { &source[start..i].replace('_', "") };
+            let value = i64::from_str_radix(text, radix)
+                .or_else(|_| u64::from_str_radix(text, radix).map(|v| v as i64))
+                .map_err(|_| (line, format!("malformed integer literal `{}`", &source[start..i])))?;
+            out.push(Spanned { tok: Tok::Int(value), line });
+            continue;
+        }
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err((line, format!("unrecognized character `{c}`")));
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let ts = lex("let x = 10; // comment\nx = x << 2;").unwrap();
+        let kinds: Vec<&Tok> = ts.iter().map(|s| &s.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("let".into()));
+        assert_eq!(kinds[1], &Tok::Ident("x".into()));
+        assert_eq!(kinds[2], &Tok::Punct("="));
+        assert_eq!(kinds[3], &Tok::Int(10));
+        assert!(kinds.contains(&&Tok::Punct("<<")));
+        assert_eq!(ts.last().unwrap().tok, Tok::Eof);
+    }
+
+    #[test]
+    fn hex_and_underscores() {
+        let ts = lex("0x10 1_000").unwrap();
+        assert_eq!(ts[0].tok, Tok::Int(16));
+        assert_eq!(ts[1].tok, Tok::Int(1000));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn multi_char_ops_win() {
+        let ts = lex("a<=b==c&&d").unwrap();
+        let puncts: Vec<&Tok> =
+            ts.iter().filter(|s| matches!(s.tok, Tok::Punct(_))).map(|s| &s.tok).collect();
+        assert_eq!(puncts, vec![&Tok::Punct("<="), &Tok::Punct("=="), &Tok::Punct("&&")]);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("let $x = 1;").is_err());
+    }
+}

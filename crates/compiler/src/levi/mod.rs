@@ -1,0 +1,512 @@
+//! # Levi — a small C-like source language for lev64
+//!
+//! Evaluation workloads are written in Levi and flow through the annotating
+//! compiler, mirroring how the paper's SPEC workloads flow through its LLVM
+//! pass. The language is deliberately tiny: 64-bit signed integers,
+//! register-resident variables shared program-globally, global arrays of
+//! 8-byte elements bound to fixed data addresses, `if`/`else`, `while` with
+//! `break`/`continue`, zero-argument procedures (`fn helper() { .. }`,
+//! called as `helper();`; recursion is rejected — the calling convention
+//! uses static return-address slots instead of a stack), and the usual C
+//! operator set (`&&`/`||` evaluate both sides and yield 0/1 — no
+//! short-circuit branches are emitted for them).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = levioso_compiler::levi::compile(
+//!     "sum_positive",
+//!     r"
+//!         arr data @ 0x10000;
+//!         const N = 8;
+//!         fn main() {
+//!             let i = 0;
+//!             let sum = 0;
+//!             while (i < N) {
+//!                 if (data[i] > 0) { sum = sum + data[i]; }
+//!                 i = i + 1;
+//!             }
+//!             data[N] = sum;
+//!         }
+//!     ",
+//! )?;
+//! assert!(program.annotations.is_some(), "compile() annotates");
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod codegen;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, LeviProgram, Stmt};
+pub use eval::{eval, EvalState};
+pub use parser::parse;
+
+use levioso_isa::Program;
+use std::fmt;
+
+/// Compiles Levi source to an **annotated** lev64 [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LeviError`] describing the first lexical, syntactic, or
+/// code-generation problem.
+pub fn compile(name: &str, source: &str) -> Result<Program, LeviError> {
+    let mut p = compile_unannotated(name, source)?;
+    crate::annotate(&mut p);
+    Ok(p)
+}
+
+/// Compiles Levi source without running the annotation pass (used by tests
+/// that want to compare annotation configurations).
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_unannotated(name: &str, source: &str) -> Result<Program, LeviError> {
+    let ast = parse(source)?;
+    codegen::generate(name, &ast)
+}
+
+/// Compilation or evaluation failure for Levi source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LeviError {
+    /// Lexical error at a source line.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// Parse error at a source line.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// The source has no `fn main`.
+    NoMain,
+    /// Reference to an undeclared variable.
+    UndefinedVariable(String),
+    /// Reference to an undeclared array.
+    UndefinedArray(String),
+    /// `let` redeclares an existing name.
+    Redefined(String),
+    /// More variables than the register allocator supports.
+    TooManyVariables {
+        /// Maximum supported variables.
+        max: usize,
+    },
+    /// Expression nesting exceeds the temporary-register pool.
+    ExprTooDeep {
+        /// Maximum supported depth.
+        max: usize,
+    },
+    /// Call of an undeclared procedure.
+    UndefinedFunction(String),
+    /// A procedure is directly or mutually recursive (unsupported: the
+    /// calling convention has no stack).
+    RecursiveCall(String),
+    /// `break` used outside any loop.
+    BreakOutsideLoop,
+    /// `continue` used outside any loop.
+    ContinueOutsideLoop,
+    /// Label fixup failed in the program builder.
+    Codegen(String),
+    /// AST evaluation exceeded its step budget.
+    StepLimit {
+        /// The exhausted budget.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for LeviError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeviError::Lex { line, message } => write!(f, "lex error on line {line}: {message}"),
+            LeviError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            LeviError::NoMain => f.write_str("program has no `fn main`"),
+            LeviError::UndefinedVariable(n) => write!(f, "undefined variable `{n}`"),
+            LeviError::UndefinedArray(n) => write!(f, "undefined array `{n}`"),
+            LeviError::Redefined(n) => write!(f, "`{n}` is already defined"),
+            LeviError::TooManyVariables { max } => {
+                write!(f, "too many variables (maximum {max})")
+            }
+            LeviError::ExprTooDeep { max } => {
+                write!(f, "expression too deeply nested (maximum depth {max})")
+            }
+            LeviError::UndefinedFunction(n) => write!(f, "call of undefined procedure `{n}`"),
+            LeviError::RecursiveCall(n) => {
+                write!(f, "procedure `{n}` is recursive (unsupported)")
+            }
+            LeviError::BreakOutsideLoop => f.write_str("`break` outside of a loop"),
+            LeviError::ContinueOutsideLoop => f.write_str("`continue` outside of a loop"),
+            LeviError::Codegen(m) => write!(f, "code generation failed: {m}"),
+            LeviError::StepLimit { max_steps } => {
+                write!(f, "evaluation did not finish within {max_steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeviError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_isa::Machine;
+    use std::collections::BTreeMap;
+
+    /// Runs Levi source through codegen + the lev64 interpreter AND through
+    /// the AST evaluator, asserting identical memory effects.
+    fn differential(source: &str, initial: &[(u64, i64)]) -> (Machine, EvalState) {
+        let ast = parse(source).unwrap();
+        let p = compile("t", source).unwrap();
+
+        let init_map: BTreeMap<u64, i64> = initial.iter().copied().collect();
+        let oracle = eval(&ast, &init_map, 2_000_000).unwrap();
+
+        let mut m = Machine::new();
+        for (&addr, &v) in &init_map {
+            m.mem.write_i64(addr, v);
+        }
+        m.run(&p, 10_000_000).unwrap();
+
+        for (&addr, &v) in &oracle.memory {
+            assert_eq!(m.mem.read_i64(addr), v, "mismatch at address {addr:#x}");
+        }
+        (m, oracle)
+    }
+
+    #[test]
+    fn sum_loop_matches_oracle() {
+        differential(
+            r"
+            arr a @ 0x10000;
+            fn main() {
+                let i = 0;
+                let sum = 0;
+                while (i < 8) {
+                    sum = sum + a[i];
+                    i = i + 1;
+                }
+                a[100] = sum;
+            }
+            ",
+            &[(0x10000, 3), (0x10008, 4), (0x10010, -1)],
+        );
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        differential(
+            r"
+            arr a @ 0x20000;
+            const N = 16;
+            fn main() {
+                let i = 0;
+                while (i < N) {
+                    if (a[i] % 2 == 0) {
+                        a[i] = a[i] / 2;
+                    } else if (a[i] > 100) {
+                        a[i] = a[i] - 100;
+                    } else {
+                        a[i] = a[i] * 3 + 1;
+                    }
+                    i = i + 1;
+                }
+            }
+            ",
+            &(0..16)
+                .map(|i| (0x20000 + 8 * i as u64, (i * 37 % 113) as i64 - 20))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn logical_and_comparison_operators() {
+        differential(
+            r"
+            arr out @ 0x30000;
+            fn main() {
+                let a = 5;
+                let b = -3;
+                out[0] = (a > 0) && (b < 0);
+                out[1] = (a == 5) || (b == 0);
+                out[2] = !(a != 5);
+                out[3] = a >= 5;
+                out[4] = b <= -4;
+                out[5] = (a & 3) ^ (b | 1);
+                out[6] = a << 2;
+                out[7] = b >> 1;
+                out[8] = -a;
+            }
+            ",
+            &[],
+        );
+    }
+
+    #[test]
+    fn division_semantics_match() {
+        differential(
+            r"
+            arr out @ 0x40000;
+            fn main() {
+                out[0] = 7 / 2;
+                out[1] = -7 / 2;
+                out[2] = 7 % -2;
+                out[3] = 5 / 0;
+                out[4] = 5 % 0;
+            }
+            ",
+            &[],
+        );
+    }
+
+    #[test]
+    fn compile_produces_annotations_with_expected_shape() {
+        let p = compile(
+            "filter",
+            r"
+            arr a @ 0x10000;
+            fn main() {
+                let i = 0;
+                let sum = 0;
+                while (i < 64) {
+                    if (a[i] > 0) { sum = sum + a[i]; }
+                    i = i + 1;
+                }
+                a[64] = sum;
+            }
+            ",
+        )
+        .unwrap();
+        let ann = p.annotations.as_ref().unwrap();
+        // Exactly two conditional branches: the while and the if.
+        let branches: Vec<u32> = p
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_branch())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(branches.len(), 2);
+        let cost = ann.cost();
+        assert!(cost.all_older == 0, "fully analyzable program");
+        assert!(cost.exact_deps > 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            compile("t", "fn main() { x = 1; }"),
+            Err(LeviError::UndefinedVariable(_))
+        ));
+        assert!(matches!(
+            compile("t", "fn main() { a[0] = 1; }"),
+            Err(LeviError::UndefinedArray(_))
+        ));
+        assert!(matches!(
+            compile("t", "fn main() { let x = 1; let x = 2; }"),
+            Err(LeviError::Redefined(_))
+        ));
+        let many: String = (0..30).map(|i| format!("let v{i} = {i};")).collect();
+        assert!(matches!(
+            compile("t", &format!("fn main() {{ {many} }}")),
+            Err(LeviError::TooManyVariables { .. })
+        ));
+        // Deep right-nesting exhausts the temp pool.
+        let deep = format!("fn main() {{ let x = {}1{}; }}", "(1 + ".repeat(8), ")".repeat(8));
+        assert!(matches!(compile("t", &deep), Err(LeviError::ExprTooDeep { .. })));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let (m, _) = differential(
+            r"
+            arr out @ 0x60000;
+            fn main() {
+                let i = 0;
+                let sum = 0;
+                let evens = 0;
+                while (i < 100) {
+                    i = i + 1;
+                    if (i % 2 == 1) { continue; }
+                    evens = evens + 1;
+                    if (i >= 20) { break; }
+                    sum = sum + i;
+                }
+                out[0] = sum;
+                out[1] = evens;
+                out[2] = i;
+            }
+            ",
+            &[],
+        );
+        assert_eq!(m.mem.read_i64(0x60000), 2 + 4 + 6 + 8 + 10 + 12 + 14 + 16 + 18);
+        assert_eq!(m.mem.read_i64(0x60008), 10);
+        assert_eq!(m.mem.read_i64(0x60010), 20);
+    }
+
+    #[test]
+    fn break_in_nested_loop_exits_inner_only() {
+        let (m, _) = differential(
+            r"
+            arr out @ 0x60000;
+            fn main() {
+                let i = 0;
+                let total = 0;
+                let j = 0;
+                while (i < 4) {
+                    j = 0;
+                    while (j < 100) {
+                        if (j == 3) { break; }
+                        total = total + 1;
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+                out[0] = total;
+            }
+            ",
+            &[],
+        );
+        assert_eq!(m.mem.read_i64(0x60000), 12, "4 outer x 3 inner");
+    }
+
+    #[test]
+    fn break_outside_loop_is_an_error() {
+        assert!(matches!(
+            compile("t", "fn main() { break; }"),
+            Err(LeviError::BreakOutsideLoop)
+        ));
+        assert!(matches!(
+            compile("t", "fn main() { if (1) { continue; } }"),
+            Err(LeviError::ContinueOutsideLoop)
+        ));
+    }
+
+    #[test]
+    fn procedures_share_globals_and_run_differentially() {
+        let (m, _) = differential(
+            r"
+            arr out @ 0x60000;
+            fn bump() { acc = acc + step; }
+            fn twice() { bump(); bump(); }
+            fn main() {
+                let acc = 0;
+                let step = 5;
+                bump();
+                twice();
+                step = 1;
+                twice();
+                out[0] = acc;
+            }
+            ",
+            &[],
+        );
+        assert_eq!(m.mem.read_i64(0x60000), 5 + 10 + 2);
+    }
+
+    #[test]
+    fn procedure_called_in_loop() {
+        differential(
+            r"
+            arr a @ 0x10000;
+            arr out @ 0x60000;
+            fn process() {
+                if (v > 0) { sum = sum + v; }
+            }
+            fn main() {
+                let i = 0;
+                let v = 0;
+                let sum = 0;
+                while (i < 16) {
+                    v = a[i];
+                    process();
+                    i = i + 1;
+                }
+                out[0] = sum + 1;
+            }
+            ",
+            &(0..16).map(|i| (0x10000 + 8 * i as u64, (i as i64 * 7) % 13 - 6)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn source_level_callee_inherits_call_site_guard() {
+        // The interprocedural closure, exercised entirely from Levi source:
+        // the procedure's body must depend on the branch guarding its call.
+        let p = compile(
+            "guarded",
+            r"
+            arr a @ 0x10000;
+            fn work() { a[100] = a[50] + 1; }
+            fn main() {
+                let x = a[0];
+                if (x > 0) { work(); }
+            }
+            ",
+        )
+        .unwrap();
+        let ann = p.annotations.as_ref().unwrap();
+        // Find the guard branch and the callee's load.
+        let branch = p
+            .instrs
+            .iter()
+            .position(|i| i.is_branch())
+            .expect("guard branch exists") as u32;
+        let callee_entry = p.label(".fn_work").expect("procedure label");
+        let mut saw_callee_instr = false;
+        for (i, set) in ann.iter() {
+            if (i as u32) >= callee_entry && i < p.len() {
+                if let levioso_isa::DepSet::Exact(v) = set {
+                    assert!(
+                        v.contains(&branch),
+                        "callee instruction {i} must inherit guard {branch}, got {v:?}"
+                    );
+                    saw_callee_instr = true;
+                }
+            }
+        }
+        assert!(saw_callee_instr);
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        assert!(matches!(
+            compile("t", "fn f() { f(); } fn main() { f(); }"),
+            Err(LeviError::RecursiveCall(_))
+        ));
+        assert!(matches!(
+            compile("t", "fn f() { g(); } fn g() { f(); } fn main() { f(); }"),
+            Err(LeviError::RecursiveCall(_))
+        ));
+        assert!(matches!(
+            compile("t", "fn main() { nothing(); }"),
+            Err(LeviError::UndefinedFunction(_))
+        ));
+    }
+
+    #[test]
+    fn while_with_zero_iterations() {
+        let (m, _) = differential(
+            r"
+            arr out @ 0x50000;
+            fn main() {
+                let i = 10;
+                while (i < 10) { i = i + 1; }
+                out[0] = i;
+            }
+            ",
+            &[],
+        );
+        assert_eq!(m.mem.read_i64(0x50000), 10);
+    }
+}

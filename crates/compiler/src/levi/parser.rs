@@ -1,0 +1,428 @@
+//! Recursive-descent parser for Levi.
+
+use super::ast::{BinOp, Expr, LeviProgram, Stmt};
+use super::lexer::{lex, Spanned, Tok};
+use super::LeviError;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), LeviError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LeviError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, LeviError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.error(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: String) -> LeviError {
+        LeviError::Parse { line: self.toks[self.pos.saturating_sub(1)].line, message }
+    }
+
+    fn program(&mut self) -> Result<LeviProgram, LeviError> {
+        let mut arrays = Vec::new();
+        let mut consts = Vec::new();
+        let mut functions = Vec::new();
+        let mut body = None;
+        while *self.peek() != Tok::Eof {
+            if self.eat_kw("arr") {
+                let name = self.expect_ident()?;
+                self.expect_punct("@")?;
+                let base = self.expect_int()? as u64;
+                self.expect_punct(";")?;
+                arrays.push((name, base));
+            } else if self.eat_kw("const") {
+                let name = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let v = self.expr_const()?;
+                self.expect_punct(";")?;
+                consts.push((name, v));
+            } else if self.eat_kw("fn") {
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                self.expect_punct(")")?;
+                let fn_body = self.block()?;
+                if name == "main" {
+                    if body.replace(fn_body).is_some() {
+                        return Err(self.error("duplicate `fn main`".into()));
+                    }
+                } else {
+                    if functions.iter().any(|(n, _)| *n == name) {
+                        return Err(self.error(format!("duplicate `fn {name}`")));
+                    }
+                    functions.push((name, fn_body));
+                }
+            } else {
+                return Err(LeviError::Parse {
+                    line: self.line(),
+                    message: format!("expected `arr`, `const`, or `fn`, found {}", self.peek()),
+                });
+            }
+        }
+        let body = body.ok_or(LeviError::NoMain)?;
+        Ok(LeviProgram { arrays, consts, body, functions })
+    }
+
+    /// Constant expressions in declarations: integer with optional leading
+    /// minus.
+    fn expr_const(&mut self) -> Result<i64, LeviError> {
+        if self.eat_punct("-") {
+            Ok(self.expect_int()?.wrapping_neg())
+        } else {
+            self.expect_int()
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LeviError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if *self.peek() == Tok::Eof {
+                return Err(self.error("unterminated block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LeviError> {
+        if self.eat_kw("let") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") {
+                if matches!(self.peek(), Tok::Ident(s) if s == "if") {
+                    vec![self.stmt()?] // else if chains
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        // Assignment, array store, or procedure call.
+        let name = self.expect_ident()?;
+        if self.eat_punct("(") {
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Call(name));
+        }
+        if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let v = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Store(name, idx, v));
+        }
+        self.expect_punct("=")?;
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign(name, e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, LeviError> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.logic_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.logic_and()?;
+            e = Expr::Bin(BinOp::LOr, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.comparison()?;
+        while self.eat_punct("&&") {
+            let rhs = self.comparison()?;
+            e = Expr::Bin(BinOp::LAnd, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LeviError> {
+        let e = self.bitor()?;
+        for (p, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.bitor()?;
+                return Ok(Expr::Bin(op, Box::new(e), Box::new(rhs)));
+            }
+        }
+        Ok(e)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.bitxor()?;
+        while self.eat_punct("|") {
+            let rhs = self.bitxor()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.bitand()?;
+        while self.eat_punct("^") {
+            let rhs = self.bitand()?;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.shift()?;
+        while self.eat_punct("&") {
+            let rhs = self.shift()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.addsub()?;
+        loop {
+            if self.eat_punct("<<") {
+                let rhs = self.addsub()?;
+                e = Expr::Bin(BinOp::Shl, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct(">>") {
+                let rhs = self.addsub()?;
+                e = Expr::Bin(BinOp::Shr, Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn addsub(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.muldiv()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.muldiv()?;
+                e = Expr::Bin(BinOp::Add, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct("-") {
+                let rhs = self.muldiv()?;
+                e = Expr::Bin(BinOp::Sub, Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<Expr, LeviError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.unary()?;
+                e = Expr::Bin(BinOp::Mul, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct("/") {
+                let rhs = self.unary()?;
+                e = Expr::Bin(BinOp::Div, Box::new(e), Box::new(rhs));
+            } else if self.eat_punct("%") {
+                let rhs = self.unary()?;
+                e = Expr::Bin(BinOp::Rem, Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LeviError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LeviError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Ident(name) => {
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses Levi source into an AST.
+///
+/// # Errors
+///
+/// [`LeviError::Lex`] / [`LeviError::Parse`] with the offending line, or
+/// [`LeviError::NoMain`] if the source lacks `fn main`.
+pub fn parse(source: &str) -> Result<LeviProgram, LeviError> {
+    let toks = lex(source).map_err(|(line, message)| LeviError::Lex { line, message })?;
+    Parser { toks, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_main() {
+        let p = parse(
+            r"
+            arr data @ 0x10000;
+            const N = 64;
+            fn main() {
+                let i = 0;
+                while (i < N) {
+                    data[i] = i * 2;
+                    i = i + 1;
+                }
+            }
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.arrays, vec![("data".into(), 0x10000)]);
+        assert_eq!(p.consts, vec![("N".into(), 64)]);
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(&p.body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Let(_, e) = &p.body[0] else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3)))),
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arith() {
+        let p = parse("fn main() { let x = 1 + 2 < 3 * 4; }").unwrap();
+        let Stmt::Let(_, Expr::Bin(op, ..)) = &p.body[0] else { panic!() };
+        assert_eq!(*op, BinOp::Lt);
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse(
+            "fn main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }",
+        )
+        .unwrap();
+        let Stmt::If(_, _, els) = &p.body[0] else { panic!() };
+        assert_eq!(els.len(), 1);
+        assert!(matches!(&els[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse("fn main() { let = 1; }"), Err(LeviError::Parse { .. })));
+        assert!(matches!(parse("arr a @ 1;"), Err(LeviError::NoMain)));
+        assert!(matches!(parse("fn other() {}"), Err(LeviError::NoMain)));
+        assert!(matches!(parse("fn main() { x = $; }"), Err(LeviError::Lex { .. })));
+    }
+
+    #[test]
+    fn array_store_and_load() {
+        let p = parse("fn main() { a[i + 1] = b[j]; }").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Store(name, _, _) if name == "a"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # levioso-compiler — the software half of Levioso
+//!
+//! Implements the compiler analysis of *"Levioso: Efficient
+//! Compiler-Informed Secure Speculation"* (DAC '24): for every instruction,
+//! the set of conditional branches it **truly depends on**, communicated to
+//! the simulated hardware as [`levioso_isa::Annotations`].
+//!
+//! The pipeline is the classic one an LLVM pass would run:
+//!
+//! 1. [`mod@cfg`] — function discovery and basic-block control-flow graphs;
+//! 2. [`dom`] — post-dominator trees (Cooper–Harvey–Kennedy); the immediate
+//!    post-dominator of a branch is its *reconvergence point*;
+//! 3. [`ctrldep`] — transitive Ferrante–Ottenstein–Warren control
+//!    dependence;
+//! 4. [`dataflow`] — reaching definitions (used by the static-dataflow
+//!    ablation);
+//! 5. [`mod@annotate`] — assembling per-instruction dependency sets, including
+//!    the interprocedural closure that makes callee bodies inherit the
+//!    branches guarding their call sites.
+//!
+//! The crate also ships **Levi** ([`levi`]), a small C-like source language
+//! that compiles to lev64, so evaluation workloads can be written the way
+//! the paper's SPEC workloads were: as source code flowing through the
+//! annotating compiler.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut program = levioso_isa::assemble(
+//!     "demo",
+//!     r"
+//!         ld   t0, 0(a0)
+//!         blez t0, skip
+//!         addi a1, a1, 1
+//!     skip:
+//!         halt
+//!     ",
+//! )?;
+//! levioso_compiler::annotate(&mut program);
+//! let annotations = program.annotations.as_ref().expect("annotated");
+//! // The guarded increment depends on the branch; the final halt does not.
+//! assert_eq!(*annotations.deps_of(2), levioso_isa::DepSet::Exact(vec![1]));
+//! assert_eq!(*annotations.deps_of(3), levioso_isa::DepSet::Exact(vec![]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod annotate;
+pub mod bitset;
+pub mod cfg;
+pub mod ctrldep;
+pub mod dataflow;
+pub mod dom;
+pub mod levi;
+
+pub use annotate::{annotate, annotate_with, compute_annotations, Analysis, AnnotateConfig};
+pub use bitset::BitSet;
+pub use cfg::{build_cfg, Block, FunctionCfg, ProgramCfg};
+pub use ctrldep::{control_dependence, ControlDeps};
+pub use dataflow::ReachingDefs;
+pub use dom::{dominates, immediate_dominators, immediate_postdominators};

@@ -1,0 +1,131 @@
+//! Baseline secure-speculation schemes the paper compares against.
+//!
+//! All baselines are *hardware-only*: they consult the conservative
+//! speculation shadow (`DynInstr::shadow` — every older unresolved control
+//! instruction) or dynamic taint (`DynInstr::taint_roots`), never the
+//! compiler annotations. They differ in **what** they gate and **when**
+//! they release:
+//!
+//! | scheme | gates | release | coverage |
+//! |---|---|---|---|
+//! | [`Fence`] | every instruction | branch execute | comprehensive (≈ LFENCE after every branch) |
+//! | [`DelayOnMiss`] | loads that miss L1 (hits served invisibly) | branch execute | cache channel |
+//! | [`Stt`] | transmits with tainted operands | source load non-speculative | speculatively-loaded secrets only |
+//! | [`CommitDelay`] | transmits | branch **commit** | comprehensive (the paper's ≈51 % class) |
+//! | [`ExecuteDelay`] | transmits | branch **execute** | comprehensive (the paper's ≈43 % class) |
+
+use levioso_uarch::{DynInstr, Gate, LoadMode, SpecView, SpeculationPolicy};
+
+/// Fence-after-every-branch: no instruction executes under an unresolved
+/// older control instruction. The classic software mitigation's cost
+/// ceiling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fence;
+
+impl SpeculationPolicy for Fence {
+    fn name(&self) -> &'static str {
+        "fence"
+    }
+
+    fn may_execute(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        if view.any_unresolved(&instr.shadow) {
+            Gate::Delay
+        } else {
+            Gate::Allow
+        }
+    }
+}
+
+/// Delay-on-Miss: speculative loads may be served from L1 without updating
+/// replacement state; speculative misses (and speculative flushes) wait
+/// until the load is no longer speculative. Closes the cache channel
+/// comprehensively; other channels (not modelled here) remain open, which
+/// is why the paper's comprehensive baselines gate *all* transmits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelayOnMiss;
+
+impl SpeculationPolicy for DelayOnMiss {
+    fn name(&self) -> &'static str {
+        "delay-on-miss"
+    }
+
+    fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        // Flushes perturb cache state unconditionally: delay while
+        // speculative. Loads are handled via `load_mode`.
+        if instr.instr.is_load() || !view.any_unresolved(&instr.shadow) {
+            Gate::Allow
+        } else {
+            Gate::Delay
+        }
+    }
+
+    fn load_mode(&self, instr: &DynInstr, view: &SpecView<'_>) -> LoadMode {
+        if view.any_unresolved(&instr.shadow) {
+            LoadMode::HitOnly
+        } else {
+            LoadMode::Normal
+        }
+    }
+}
+
+/// STT-style speculative taint tracking (sandbox threat model): a transmit
+/// is delayed while any of its operands' values derive from an in-flight
+/// *speculative* load. Non-speculatively loaded (architectural) secrets are
+/// **not** protected — the constant-time gadget in `levioso-attacks` leaks
+/// under this scheme by design.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stt;
+
+impl SpeculationPolicy for Stt {
+    fn name(&self) -> &'static str {
+        "stt"
+    }
+
+    fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        if instr.taint_roots.iter().any(|&r| view.taint_active(r)) {
+            Gate::Delay
+        } else {
+            Gate::Allow
+        }
+    }
+}
+
+/// Comprehensive delay-until-commit (the stricter prior defense, the
+/// paper's ≈51 % class): a transmit executes only once every older control
+/// instruction has *committed*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitDelay;
+
+impl SpeculationPolicy for CommitDelay {
+    fn name(&self) -> &'static str {
+        "commit-delay"
+    }
+
+    fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        if view.any_uncommitted(&instr.shadow) {
+            Gate::Delay
+        } else {
+            Gate::Allow
+        }
+    }
+}
+
+/// Comprehensive delay-until-execute (the cheaper prior defense, the
+/// paper's ≈43 % class): a transmit executes only once every older control
+/// instruction has *resolved* (executed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecuteDelay;
+
+impl SpeculationPolicy for ExecuteDelay {
+    fn name(&self) -> &'static str {
+        "execute-delay"
+    }
+
+    fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        if view.any_unresolved(&instr.shadow) {
+            Gate::Delay
+        } else {
+            Gate::Allow
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The Levioso secure-speculation scheme.
+//!
+//! A transmit instruction (load or flush) is delayed **only while one of
+//! its true branch dependencies is unresolved**. The dependency set is the
+//! compiler's per-instruction annotation (control dependence, including the
+//! interprocedural call-guard closure), instantiated at rename against the
+//! in-flight unresolved branches, and — in the default variant — closed
+//! over *dynamic* register dataflow by the rename logic plus
+//! store-to-load-forwarding inheritance (`DynInstr::lev_deps`).
+//!
+//! Unresolved **indirect** jumps are always barriers: the front end may
+//! have been steered to an arbitrary target (BTB/RAS mis-speculation,
+//! Spectre-v2), where static annotations cannot be trusted; the core adds
+//! them to every younger instruction's dependency set.
+//!
+//! Release point is branch *execution* (not commit): once a branch
+//! resolves, either the dependents were on the correct path (and transmit
+//! reveals nothing transient) or they are being squashed.
+
+use levioso_uarch::{DynInstr, Gate, SpecView, SpeculationPolicy};
+
+/// Which dependency set the scheme consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeviosoVariant {
+    /// Annotation instances **plus** hardware dataflow propagation
+    /// (`lev_deps`). The sound default.
+    #[default]
+    Full,
+    /// Annotation instances only (`ann_deps`), no hardware propagation.
+    ///
+    /// Paired with statically-dataflow-closed annotations this is the
+    /// "static Levioso" ablation (F3), sound for programs without
+    /// cross-function register flows. Paired with control-only annotations
+    /// it is **deliberately unsound** and exists so the failure-injection
+    /// tests can demonstrate why dataflow closure is necessary.
+    AnnotationOnly,
+}
+
+/// The Levioso policy (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levioso {
+    variant: LeviosoVariant,
+}
+
+impl Levioso {
+    /// The default (full, sound) configuration.
+    pub fn new() -> Self {
+        Levioso { variant: LeviosoVariant::Full }
+    }
+
+    /// Selects an ablation variant.
+    pub fn with_variant(variant: LeviosoVariant) -> Self {
+        Levioso { variant }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> LeviosoVariant {
+        self.variant
+    }
+}
+
+impl SpeculationPolicy for Levioso {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            LeviosoVariant::Full => "levioso",
+            LeviosoVariant::AnnotationOnly => "levioso-static",
+        }
+    }
+
+    fn needs_annotations(&self) -> bool {
+        true
+    }
+
+    fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
+        let deps = match self.variant {
+            LeviosoVariant::Full => &instr.lev_deps,
+            LeviosoVariant::AnnotationOnly => &instr.ann_deps,
+        };
+        if view.any_unresolved(deps) {
+            Gate::Delay
+        } else {
+            Gate::Allow
+        }
+    }
+}

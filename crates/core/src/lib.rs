@@ -1,0 +1,53 @@
+//! # levioso-core — the Levioso scheme and its baselines
+//!
+//! The primary contribution of the [Levioso (DAC '24)] reproduction: the
+//! compiler-informed secure-speculation policy ([`Levioso`]), every
+//! baseline defense it is compared against ([`baselines`]), and the
+//! [`Scheme`] registry + [`run_scheme`] harness gluing programs, annotation
+//! flavours, policies, and the out-of-order simulator together.
+//!
+//! The security contract enforced by the comprehensive schemes (validated
+//! end-to-end by `levioso-attacks`): **no transmit instruction executes
+//! while an older control-flow decision it truly depends on is still
+//! speculative**, so transient execution leaves no operand-dependent
+//! microarchitectural trace. Levioso's insight is that "truly depends on"
+//! is far smaller than "is younger than" — the compiler proves it, the
+//! hardware exploits it.
+//!
+//! ```
+//! use levioso_core::{run_scheme, Scheme};
+//! use levioso_uarch::CoreConfig;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = levioso_compiler::levi::compile(
+//!     "demo",
+//!     r"
+//!     arr a @ 0x10000;
+//!     fn main() {
+//!         let i = 0;
+//!         let sum = 0;
+//!         while (i < 32) {
+//!             if (a[i] > 0) { sum = sum + a[i]; }
+//!             i = i + 1;
+//!         }
+//!         a[100] = sum;
+//!     }
+//!     ",
+//! )?;
+//! let baseline = run_scheme(&program, Scheme::Unsafe, &CoreConfig::default(), |_| {})?;
+//! let levioso = run_scheme(&program, Scheme::Levioso, &CoreConfig::default(), |_| {})?;
+//! assert!(levioso.cycles >= baseline.cycles, "defenses never speed things up");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [Levioso (DAC '24)]: https://doi.org/10.1145/3649329.3655632
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+mod levioso;
+mod scheme;
+
+pub use levioso::{Levioso, LeviosoVariant};
+pub use scheme::{run_scheme, ParseSchemeError, Scheme};

@@ -1,0 +1,89 @@
+//! Transient-side-effect accounting: what each scheme lets squashed
+//! instructions do to the cache.
+//!
+//! * The delay-everything comprehensive baselines must produce **zero**
+//!   transient fills: a transmit only executes once nothing older can
+//!   squash it.
+//! * Levioso *permits* transient fills — that is exactly its performance
+//!   edge — but only for instructions whose execution is identical on the
+//!   correct path, so none of them is exploitable (validated by the T2
+//!   receiver tests in `levioso-attacks`).
+
+use levioso_core::Scheme;
+use levioso_uarch::{CoreConfig, Simulator};
+use levioso_workloads::{suite, Scale};
+
+fn transient_fills(w: &levioso_workloads::Workload, scheme: Scheme) -> u64 {
+    let mut program = w.program.clone();
+    scheme.prepare(&mut program);
+    let mut sim = Simulator::new(&program, CoreConfig::default());
+    w.apply_memory(&mut sim);
+    sim.run(scheme.policy().as_ref()).unwrap().transient_fills
+}
+
+#[test]
+fn delay_schemes_leave_zero_transient_fills() {
+    for w in suite(Scale::Smoke) {
+        for scheme in [Scheme::Fence, Scheme::CommitDelay, Scheme::ExecuteDelay, Scheme::DelayOnMiss]
+        {
+            assert_eq!(
+                transient_fills(&w, scheme),
+                0,
+                "{} under {scheme} must not change cache state transiently",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn unsafe_core_produces_transient_fills_on_branchy_kernels() {
+    let mut any = 0;
+    for w in suite(Scale::Smoke) {
+        any += transient_fills(&w, Scheme::Unsafe);
+    }
+    assert!(any > 0, "the unprotected core must speculate visibly somewhere");
+}
+
+#[test]
+fn levioso_permits_only_benign_transient_fills() {
+    // Levioso's residual transient activity is nonzero (that's the point)
+    // but strictly less than the unprotected core's.
+    let mut unsafe_total = 0;
+    let mut levioso_total = 0;
+    for w in suite(Scale::Smoke) {
+        unsafe_total += transient_fills(&w, Scheme::Unsafe);
+        levioso_total += transient_fills(&w, Scheme::Levioso);
+    }
+    assert!(
+        levioso_total <= unsafe_total,
+        "levioso ({levioso_total}) cannot speculate more visibly than unsafe ({unsafe_total})"
+    );
+    // The exploitability of the residual is what the attack suite tests;
+    // here we just pin down that the residual exists (Levioso is not
+    // secretly equivalent to execute-delay).
+    assert!(
+        levioso_total > 0,
+        "levioso should still allow benign transient fills somewhere in the suite"
+    );
+}
+
+#[test]
+fn attack_gadgets_show_the_fill_difference() {
+    // On the Spectre-v1 gadget, the unsafe core fills transiently; every
+    // comprehensive scheme does not.
+    use levioso_attacks::AttackKind;
+    let g = AttackKind::SpectreV1.gadget(7);
+    let run = |scheme: Scheme| {
+        let mut p = g.program.clone();
+        scheme.prepare(&mut p);
+        let mut sim = Simulator::new(&p, CoreConfig::default());
+        for &(a, v) in &g.memory {
+            sim.mem.write_i64(a, v);
+        }
+        sim.run(scheme.policy().as_ref()).unwrap().transient_fills
+    };
+    assert!(run(Scheme::Unsafe) > 0);
+    assert_eq!(run(Scheme::ExecuteDelay), 0);
+    assert_eq!(run(Scheme::Levioso), 0, "every fill in this gadget is secret-carrying");
+}

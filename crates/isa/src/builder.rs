@@ -1,0 +1,378 @@
+//! Programmatic program construction with deferred label resolution.
+//!
+//! [`ProgramBuilder`] is the API workloads and attack gadgets use to emit
+//! lev64 code from Rust, with the same label semantics as the assembler:
+//!
+//! ```
+//! use levioso_isa::{ProgramBuilder, reg::*};
+//! # fn main() -> Result<(), levioso_isa::BuildError> {
+//! let mut b = ProgramBuilder::new("sum");
+//! b.li(A0, 10).li(A1, 0);
+//! b.label("loop");
+//! b.alu(levioso_isa::AluOp::Add, A1, A1, A0);
+//! b.addi(A0, A0, -1);
+//! b.bnez(A0, "loop");
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{AluOp, BranchCond, Instr, MemWidth, Program, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Incremental builder for a [`Program`].
+///
+/// All emit methods return `&mut Self` for chaining. Labels may be
+/// referenced before they are defined; [`ProgramBuilder::build`] resolves
+/// them.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, u32>,
+    // (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Current instruction index (where the next emitted instruction goes).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        if self.labels.insert(label.clone(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(label);
+        }
+        self
+    }
+
+    fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit_target(&mut self, label: &str, make: impl FnOnce(u32) -> Instr) -> &mut Self {
+        let idx = self.instrs.len();
+        if let Some(&t) = self.labels.get(label) {
+            self.instrs.push(make(t));
+        } else {
+            self.fixups.push((idx, label.to_string()));
+            self.instrs.push(make(u32::MAX));
+        }
+        self
+    }
+
+    /// Emits a register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.emit(Instr::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, rd, crate::reg::ZERO, imm)
+    }
+
+    /// `rd = rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu_imm(AluOp::Add, rd, rs, 0)
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Sll, rd, rs1, imm)
+    }
+
+    /// `rd = (u64)rs1 >> imm`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Srl, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Xor, rd, rs1, imm)
+    }
+
+    /// Emits a load of the given width.
+    pub fn load(&mut self, width: MemWidth, signed: bool, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Load { width, signed, rd, base, offset })
+    }
+
+    /// 64-bit load.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load(MemWidth::D, true, rd, base, offset)
+    }
+
+    /// Zero-extending 8-bit load.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load(MemWidth::B, false, rd, base, offset)
+    }
+
+    /// Sign-extending 32-bit load.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load(MemWidth::W, true, rd, base, offset)
+    }
+
+    /// Emits a store of the given width.
+    pub fn store(&mut self, width: MemWidth, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Store { width, src, base, offset })
+    }
+
+    /// 64-bit store.
+    pub fn sd(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store(MemWidth::D, src, base, offset)
+    }
+
+    /// 8-bit store.
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store(MemWidth::B, src, base, offset)
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.emit_target(label, |t| Instr::Branch { cond, rs1, rs2, target: t })
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch if less than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch if greater or equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Branch if less than (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// Branch if greater or equal (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Geu, rs1, rs2, label)
+    }
+
+    /// Branch if zero.
+    pub fn beqz(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs, crate::reg::ZERO, label)
+    }
+
+    /// Branch if non-zero.
+    pub fn bnez(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs, crate::reg::ZERO, label)
+    }
+
+    /// Unconditional jump.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.emit_target(label, |t| Instr::Jal { rd: crate::reg::ZERO, target: t })
+    }
+
+    /// Call: `jal ra, label`.
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.emit_target(label, |t| Instr::Jal { rd: crate::reg::RA, target: t })
+    }
+
+    /// Jump-and-link with an explicit link register.
+    pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.emit_target(label, |t| Instr::Jal { rd, target: t })
+    }
+
+    /// Indirect jump-and-link.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Jalr { rd, base, offset })
+    }
+
+    /// Return: `jalr zero, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(crate::reg::ZERO, crate::reg::RA, 0)
+    }
+
+    /// Indirect jump without linking.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.jalr(crate::reg::ZERO, rs, 0)
+    }
+
+    /// Reads the cycle counter.
+    pub fn rdcycle(&mut self, rd: Reg) -> &mut Self {
+        self.emit(Instr::RdCycle { rd })
+    }
+
+    /// Flushes the cache line of `rs + offset`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Flush { base, offset })
+    }
+
+    /// Full fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.emit(Instr::Fence)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UndefinedLabel`] if a referenced label was never
+    /// defined; [`BuildError::DuplicateLabel`] if a label was defined twice;
+    /// [`BuildError::Invalid`] if the resolved program fails validation.
+    pub fn build(&mut self) -> Result<Program, BuildError> {
+        if let Some(l) = self.duplicate.take() {
+            return Err(BuildError::DuplicateLabel(l));
+        }
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let t = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+            match &mut self.instrs[idx] {
+                Instr::Branch { target, .. } | Instr::Jal { target, .. } => *target = t,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        let mut p = Program::new(std::mem::take(&mut self.name), std::mem::take(&mut self.instrs));
+        p.labels = std::mem::take(&mut self.labels);
+        p.validate().map_err(|e| BuildError::Invalid(e.to_string()))?;
+        Ok(p)
+    }
+}
+
+/// Failure to finalize a [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined at two positions.
+    DuplicateLabel(String),
+    /// The resolved program failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+    use crate::Machine;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(A0, 3);
+        b.label("loop");
+        b.addi(A0, A0, -1);
+        b.beqz(A0, "done"); // forward reference
+        b.j("loop"); // backward reference
+        b.label("done");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new();
+        m.run(&p, 100).unwrap();
+        assert_eq!(m.reg(A0), 0);
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut b = ProgramBuilder::new("t");
+        b.j("nowhere").halt();
+        assert_eq!(b.build(), Err(BuildError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x").nop().label("x").halt();
+        assert_eq!(b.build(), Err(BuildError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn builder_matches_assembler() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(A0, 7);
+        b.label("top");
+        b.addi(A0, A0, -1);
+        b.bnez(A0, "top");
+        b.halt();
+        let built = b.build().unwrap();
+        let assembled = crate::assemble(
+            "t",
+            "li a0, 7\ntop:\naddi a0, a0, -1\nbnez a0, top\nhalt",
+        )
+        .unwrap();
+        assert_eq!(built.instrs, assembled.instrs);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new("t");
+        assert_eq!(b.here(), 0);
+        b.nop().nop();
+        assert_eq!(b.here(), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Fixed-width binary encoding of lev64 instructions.
+//!
+//! Each instruction encodes into one little-endian `u64` word:
+//!
+//! ```text
+//!  bits 0..6    opcode
+//!  bits 6..11   rd
+//!  bits 11..16  rs1
+//!  bits 16..21  rs2
+//!  bits 21..24  funct (ALU op low bits / width / condition)
+//!  bits 24..64  imm40 (sign-extended immediate / absolute target)
+//! ```
+//!
+//! The 40-bit immediate field covers every address and constant the
+//! evaluation uses; constants outside ±2³⁹ are rejected at encode time
+//! (the assembler's `li` accepts full `i64`, so such programs exist only
+//! if constructed deliberately — [`EncodeError::ImmediateRange`] reports
+//! them). Branch/jump targets are absolute instruction indices and fit
+//! easily.
+//!
+//! The encoding exists for two reasons: it fixes a concrete cost model for
+//! programs (and for the Levioso hint channel riding alongside them), and
+//! it lets programs round-trip through a binary image
+//! ([`encode_program`]/[`decode_program`]) like any real toolchain.
+
+use crate::{AluOp, BranchCond, Instr, MemWidth, Reg};
+use std::fmt;
+
+const OP_ALU: u64 = 0x01;
+const OP_ALU_IMM: u64 = 0x02;
+const OP_LOAD: u64 = 0x03;
+const OP_LOAD_U: u64 = 0x04;
+const OP_STORE: u64 = 0x05;
+const OP_BRANCH: u64 = 0x06;
+const OP_JAL: u64 = 0x07;
+const OP_JALR: u64 = 0x08;
+const OP_RDCYCLE: u64 = 0x09;
+const OP_FLUSH: u64 = 0x0a;
+const OP_FENCE: u64 = 0x0b;
+const OP_NOP: u64 = 0x0c;
+const OP_HALT: u64 = 0x0d;
+
+const IMM_BITS: u32 = 40;
+const IMM_MIN: i64 = -(1 << (IMM_BITS - 1));
+const IMM_MAX: i64 = (1 << (IMM_BITS - 1)) - 1;
+
+/// Encoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit the 40-bit field.
+    ImmediateRange {
+        /// The out-of-range immediate.
+        imm: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EncodeError::ImmediateRange { imm } => {
+                write!(f, "immediate {imm} does not fit the 40-bit encoding field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode bits.
+    BadOpcode {
+        /// The word's opcode field.
+        opcode: u64,
+    },
+    /// A funct field held an undefined value.
+    BadFunct {
+        /// The word's funct field.
+        funct: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode:#x}"),
+            DecodeError::BadFunct { funct } => write!(f, "undefined funct value {funct:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Splits the 14 ALU operations across funct (3 bits) and an opcode pair.
+fn alu_code(op: AluOp) -> (u64, u64) {
+    // (page, funct): page 0 = first eight ops, page 1 = the rest.
+    match op {
+        AluOp::Add => (0, 0),
+        AluOp::Sub => (0, 1),
+        AluOp::And => (0, 2),
+        AluOp::Or => (0, 3),
+        AluOp::Xor => (0, 4),
+        AluOp::Sll => (0, 5),
+        AluOp::Srl => (0, 6),
+        AluOp::Sra => (0, 7),
+        AluOp::Slt => (1, 0),
+        AluOp::Sltu => (1, 1),
+        AluOp::Mul => (1, 2),
+        AluOp::Mulh => (1, 3),
+        AluOp::Div => (1, 4),
+        AluOp::Rem => (1, 5),
+    }
+}
+
+fn alu_from_code(page: u64, funct: u64) -> Result<AluOp, DecodeError> {
+    Ok(match (page, funct) {
+        (0, 0) => AluOp::Add,
+        (0, 1) => AluOp::Sub,
+        (0, 2) => AluOp::And,
+        (0, 3) => AluOp::Or,
+        (0, 4) => AluOp::Xor,
+        (0, 5) => AluOp::Sll,
+        (0, 6) => AluOp::Srl,
+        (0, 7) => AluOp::Sra,
+        (1, 0) => AluOp::Slt,
+        (1, 1) => AluOp::Sltu,
+        (1, 2) => AluOp::Mul,
+        (1, 3) => AluOp::Mulh,
+        (1, 4) => AluOp::Div,
+        (1, 5) => AluOp::Rem,
+        _ => return Err(DecodeError::BadFunct { funct }),
+    })
+}
+
+fn width_funct(w: MemWidth) -> u64 {
+    match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    }
+}
+
+fn width_from(funct: u64) -> Result<MemWidth, DecodeError> {
+    Ok(match funct & 0b11 {
+        0 => MemWidth::B,
+        1 => MemWidth::H,
+        2 => MemWidth::W,
+        _ => MemWidth::D,
+    })
+}
+
+fn cond_funct(c: BranchCond) -> u64 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(funct: u64) -> Result<BranchCond, DecodeError> {
+    Ok(match funct {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return Err(DecodeError::BadFunct { funct }),
+    })
+}
+
+fn pack(opcode: u64, rd: u64, rs1: u64, rs2: u64, funct: u64, imm: i64) -> Result<u64, EncodeError> {
+    if !(IMM_MIN..=IMM_MAX).contains(&imm) {
+        return Err(EncodeError::ImmediateRange { imm });
+    }
+    debug_assert!(opcode < 64 && rd < 32 && rs1 < 32 && rs2 < 32 && funct < 8);
+    Ok(opcode
+        | (rd << 6)
+        | (rs1 << 11)
+        | (rs2 << 16)
+        | (funct << 21)
+        | (((imm as u64) & ((1u64 << IMM_BITS) - 1)) << 24))
+}
+
+fn unpack_imm(word: u64) -> i64 {
+    let raw = (word >> 24) & ((1u64 << IMM_BITS) - 1);
+    // Sign-extend from 40 bits.
+    ((raw as i64) << (64 - IMM_BITS)) >> (64 - IMM_BITS)
+}
+
+/// Encodes one instruction into its 64-bit word.
+///
+/// # Errors
+///
+/// [`EncodeError::ImmediateRange`] if an immediate exceeds the 40-bit
+/// field.
+pub fn encode(instr: &Instr) -> Result<u64, EncodeError> {
+    let r = |reg: Reg| reg.index() as u64;
+    match *instr {
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let (page, funct) = alu_code(op);
+            pack(OP_ALU, r(rd), r(rs1), r(rs2), funct, page as i64)
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let (page, funct) = alu_code(op);
+            // page rides in rs2 (unused by the imm form).
+            pack(OP_ALU_IMM, r(rd), r(rs1), page, funct, imm)
+        }
+        Instr::Load { width, signed, rd, base, offset } => pack(
+            if signed { OP_LOAD } else { OP_LOAD_U },
+            r(rd),
+            r(base),
+            0,
+            width_funct(width),
+            offset,
+        ),
+        Instr::Store { width, src, base, offset } => {
+            pack(OP_STORE, 0, r(base), r(src), width_funct(width), offset)
+        }
+        Instr::Branch { cond, rs1, rs2, target } => {
+            pack(OP_BRANCH, 0, r(rs1), r(rs2), cond_funct(cond), target as i64)
+        }
+        Instr::Jal { rd, target } => pack(OP_JAL, r(rd), 0, 0, 0, target as i64),
+        Instr::Jalr { rd, base, offset } => pack(OP_JALR, r(rd), r(base), 0, 0, offset),
+        Instr::RdCycle { rd } => pack(OP_RDCYCLE, r(rd), 0, 0, 0, 0),
+        Instr::Flush { base, offset } => pack(OP_FLUSH, 0, r(base), 0, 0, offset),
+        Instr::Fence => pack(OP_FENCE, 0, 0, 0, 0, 0),
+        Instr::Nop => pack(OP_NOP, 0, 0, 0, 0, 0),
+        Instr::Halt => pack(OP_HALT, 0, 0, 0, 0, 0),
+    }
+}
+
+/// Decodes one 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// [`DecodeError`] on unknown opcode or funct bits. Unused fields are
+/// ignored (hardware decoders don't check them either), so
+/// `decode(encode(i)) == i` but not every word is canonical.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x3f;
+    let rd = Reg::new(((word >> 6) & 0x1f) as u8);
+    let rs1 = Reg::new(((word >> 11) & 0x1f) as u8);
+    let rs2 = Reg::new(((word >> 16) & 0x1f) as u8);
+    let funct = (word >> 21) & 0x7;
+    let imm = unpack_imm(word);
+    Ok(match opcode {
+        OP_ALU => {
+            Instr::Alu { op: alu_from_code(imm as u64 & 1, funct)?, rd, rs1, rs2 }
+        }
+        OP_ALU_IMM => Instr::AluImm {
+            op: alu_from_code(rs2.index() as u64 & 1, funct)?,
+            rd,
+            rs1,
+            imm,
+        },
+        OP_LOAD | OP_LOAD_U => Instr::Load {
+            width: width_from(funct)?,
+            signed: opcode == OP_LOAD,
+            rd,
+            base: rs1,
+            offset: imm,
+        },
+        OP_STORE => Instr::Store { width: width_from(funct)?, src: rs2, base: rs1, offset: imm },
+        OP_BRANCH => Instr::Branch { cond: cond_from(funct)?, rs1, rs2, target: imm as u32 },
+        OP_JAL => Instr::Jal { rd, target: imm as u32 },
+        OP_JALR => Instr::Jalr { rd, base: rs1, offset: imm },
+        OP_RDCYCLE => Instr::RdCycle { rd },
+        OP_FLUSH => Instr::Flush { base: rs1, offset: imm },
+        OP_FENCE => Instr::Fence,
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        _ => return Err(DecodeError::BadOpcode { opcode }),
+    })
+}
+
+/// Encodes a whole program into its binary image (one word per
+/// instruction; annotations and labels are *not* part of the image — the
+/// hint channel's size is modelled separately by
+/// [`crate::AnnotationCost`]).
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`].
+pub fn encode_program(program: &crate::Program) -> Result<Vec<u64>, EncodeError> {
+    program.instrs.iter().map(encode).collect()
+}
+
+/// Decodes a binary image back into a program.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`].
+pub fn decode_program(name: &str, words: &[u64]) -> Result<crate::Program, DecodeError> {
+    Ok(crate::Program::new(
+        name,
+        words.iter().map(|&w| decode(w)).collect::<Result<Vec<_>, _>>()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    fn round_trip(i: Instr) {
+        let w = encode(&i).unwrap_or_else(|e| panic!("{i}: {e}"));
+        assert_eq!(decode(w), Ok(i), "word {w:#018x}");
+    }
+
+    #[test]
+    fn all_forms_round_trip() {
+        round_trip(Instr::Alu { op: AluOp::Mulh, rd: A0, rs1: S3, rs2: T6 });
+        round_trip(Instr::AluImm { op: AluOp::Sra, rd: T0, rs1: T0, imm: -63 });
+        round_trip(Instr::AluImm { op: AluOp::Rem, rd: S11, rs1: A7, imm: 12345 });
+        round_trip(Instr::Load { width: MemWidth::H, signed: false, rd: A1, base: SP, offset: -8 });
+        round_trip(Instr::Load { width: MemWidth::D, signed: true, rd: A1, base: GP, offset: 1 << 30 });
+        round_trip(Instr::Store { width: MemWidth::B, src: T3, base: A4, offset: 4095 });
+        round_trip(Instr::Branch { cond: BranchCond::Geu, rs1: A0, rs2: A1, target: 123456 });
+        round_trip(Instr::Jal { rd: RA, target: 7 });
+        round_trip(Instr::Jalr { rd: ZERO, base: RA, offset: 0 });
+        round_trip(Instr::RdCycle { rd: T4 });
+        round_trip(Instr::Flush { base: A2, offset: 64 });
+        round_trip(Instr::Fence);
+        round_trip(Instr::Nop);
+        round_trip(Instr::Halt);
+    }
+
+    #[test]
+    fn all_alu_ops_round_trip_in_both_forms() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Mul,
+            AluOp::Mulh,
+            AluOp::Div,
+            AluOp::Rem,
+        ] {
+            round_trip(Instr::Alu { op, rd: A0, rs1: A1, rs2: A2 });
+            round_trip(Instr::AluImm { op, rd: A0, rs1: A1, imm: -5 });
+        }
+    }
+
+    #[test]
+    fn immediate_range_is_enforced() {
+        let too_big = Instr::AluImm { op: AluOp::Add, rd: A0, rs1: ZERO, imm: 1 << 40 };
+        assert_eq!(encode(&too_big), Err(EncodeError::ImmediateRange { imm: 1 << 40 }));
+        let edge = Instr::AluImm { op: AluOp::Add, rd: A0, rs1: ZERO, imm: (1 << 39) - 1 };
+        round_trip(edge);
+        let edge = Instr::AluImm { op: AluOp::Add, rd: A0, rs1: ZERO, imm: -(1 << 39) };
+        round_trip(edge);
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert!(matches!(decode(0x3f), Err(DecodeError::BadOpcode { .. })));
+        // OP_BRANCH with funct 7 is undefined.
+        let w = OP_BRANCH | (7 << 21);
+        assert!(matches!(decode(w), Err(DecodeError::BadFunct { .. })));
+    }
+
+    #[test]
+    fn program_image_round_trip() {
+        let p = crate::assemble(
+            "t",
+            r"
+            li   a0, 10
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            ld   t0, 0x100000(zero)
+            halt
+        ",
+        )
+        .unwrap();
+        let image = encode_program(&p).unwrap();
+        assert_eq!(image.len(), p.len());
+        let back = decode_program("t", &image).unwrap();
+        assert_eq!(back.instrs, p.instrs);
+        // The decoded program runs identically.
+        let mut m1 = crate::Machine::new();
+        m1.run(&p, 1000).unwrap();
+        let mut m2 = crate::Machine::new();
+        m2.run(&back, 1000).unwrap();
+        assert_eq!(m1.arch_fingerprint(), m2.arch_fingerprint());
+    }
+}

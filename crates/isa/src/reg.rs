@@ -1,0 +1,199 @@
+//! Architectural registers of the lev64 ISA.
+//!
+//! lev64 has 32 general-purpose 64-bit integer registers, `x0`–`x31`.
+//! `x0` is hardwired to zero: writes are discarded, reads return 0.
+//! The ABI names mirror RISC-V so assembly listings read familiarly.
+
+use std::fmt;
+
+/// A general-purpose register index (`x0`–`x31`).
+///
+/// `Reg` is a validated newtype: values are always `< 32`.
+///
+/// ```
+/// use levioso_isa::Reg;
+/// let r = Reg::new(10);
+/// assert_eq!(r.index(), 10);
+/// assert_eq!(r.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` if out of range.
+    #[inline]
+    pub const fn try_new(index: u8) -> Option<Self> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index (`0..32`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Looks a register up by name; accepts both ABI names (`a0`, `t3`,
+    /// `sp`, …) and raw names (`x13`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        let idx = ABI_NAMES.iter().position(|&n| n == name)?;
+        Some(Reg(idx as u8))
+    }
+
+    /// The ABI name of this register (e.g. `"a0"`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Hardwired zero register.
+pub const ZERO: Reg = Reg(0);
+/// Return address.
+pub const RA: Reg = Reg(1);
+/// Stack pointer.
+pub const SP: Reg = Reg(2);
+/// Global pointer.
+pub const GP: Reg = Reg(3);
+/// Thread pointer.
+pub const TP: Reg = Reg(4);
+/// Temporary register 0.
+pub const T0: Reg = Reg(5);
+/// Temporary register 1.
+pub const T1: Reg = Reg(6);
+/// Temporary register 2.
+pub const T2: Reg = Reg(7);
+/// Saved register 0 / frame pointer.
+pub const S0: Reg = Reg(8);
+/// Saved register 1.
+pub const S1: Reg = Reg(9);
+/// Argument/return register 0.
+pub const A0: Reg = Reg(10);
+/// Argument/return register 1.
+pub const A1: Reg = Reg(11);
+/// Argument register 2.
+pub const A2: Reg = Reg(12);
+/// Argument register 3.
+pub const A3: Reg = Reg(13);
+/// Argument register 4.
+pub const A4: Reg = Reg(14);
+/// Argument register 5.
+pub const A5: Reg = Reg(15);
+/// Argument register 6.
+pub const A6: Reg = Reg(16);
+/// Argument register 7.
+pub const A7: Reg = Reg(17);
+/// Saved register 2.
+pub const S2: Reg = Reg(18);
+/// Saved register 3.
+pub const S3: Reg = Reg(19);
+/// Saved register 4.
+pub const S4: Reg = Reg(20);
+/// Saved register 5.
+pub const S5: Reg = Reg(21);
+/// Saved register 6.
+pub const S6: Reg = Reg(22);
+/// Saved register 7.
+pub const S7: Reg = Reg(23);
+/// Saved register 8.
+pub const S8: Reg = Reg(24);
+/// Saved register 9.
+pub const S9: Reg = Reg(25);
+/// Saved register 10.
+pub const S10: Reg = Reg(26);
+/// Saved register 11.
+pub const S11: Reg = Reg(27);
+/// Temporary register 3.
+pub const T3: Reg = Reg(28);
+/// Temporary register 4.
+pub const T4: Reg = Reg(29);
+/// Temporary register 5.
+pub const T5: Reg = Reg(30);
+/// Temporary register 6.
+pub const T6: Reg = Reg(31);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_name(r.abi_name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn x_names() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::from_name(&format!("x{i}")), Some(Reg::new(i)));
+        }
+        assert_eq!(Reg::from_name("x32"), None);
+        assert_eq!(Reg::from_name("y1"), None);
+        assert_eq!(Reg::from_name(""), None);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(ZERO.is_zero());
+        assert!(!RA.is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(A0.to_string(), "a0");
+        assert_eq!(ZERO.to_string(), "zero");
+        assert_eq!(T6.to_string(), "t6");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the lev64 ISA crate.
+
+use levioso_isa::{
+    assemble, decode, encode, AluOp, BranchCond, Instr, Machine, MemWidth, Memory, Program, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let imm = -(1i64 << 39)..(1i64 << 39);
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), imm.clone())
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)],
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            imm.clone()
+        )
+            .prop_map(|(width, signed, rd, base, offset)| Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset
+            }),
+        (
+            prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)],
+            arb_reg(),
+            arb_reg(),
+            imm.clone()
+        )
+            .prop_map(|(width, src, base, offset)| Instr::Store { width, src, base, offset }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Lt),
+                Just(BranchCond::Ge),
+                Just(BranchCond::Ltu),
+                Just(BranchCond::Geu)
+            ],
+            arb_reg(),
+            arb_reg(),
+            any::<u32>()
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Instr::Branch { cond, rs1, rs2, target }),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, target)| Instr::Jal { rd, target }),
+        (arb_reg(), arb_reg(), imm.clone())
+            .prop_map(|(rd, base, offset)| Instr::Jalr { rd, base, offset }),
+        arb_reg().prop_map(|rd| Instr::RdCycle { rd }),
+        (arb_reg(), imm).prop_map(|(base, offset)| Instr::Flush { base, offset }),
+        Just(Instr::Fence),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through the 64-bit binary encoding.
+    #[test]
+    fn binary_encoding_round_trips(instr in arb_instr()) {
+        let word = encode(&instr).expect("in-range immediates encode");
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    /// Decoding arbitrary words either fails cleanly or yields an
+    /// instruction that re-encodes to a decodable word (no panics, no
+    /// garbage states).
+    #[test]
+    fn decoding_is_total(word in any::<u64>()) {
+        if let Ok(i) = decode(word) {
+            let re = encode(&i).expect("decoded instructions re-encode");
+            prop_assert_eq!(decode(re), Ok(i));
+        }
+    }
+
+    /// ALU evaluation never panics and matches an independent
+    /// recomputation for the easily-specified operations.
+    #[test]
+    fn alu_eval_total(op in arb_alu_op(), a in any::<i64>(), b in any::<i64>()) {
+        let v = op.eval(a, b);
+        match op {
+            AluOp::And => prop_assert_eq!(v, a & b),
+            AluOp::Or => prop_assert_eq!(v, a | b),
+            AluOp::Xor => prop_assert_eq!(v, a ^ b),
+            AluOp::Add => prop_assert_eq!(v, a.wrapping_add(b)),
+            AluOp::Sub => prop_assert_eq!(v, a.wrapping_sub(b)),
+            AluOp::Slt => prop_assert_eq!(v, i64::from(a < b)),
+            AluOp::Sltu => prop_assert_eq!(v, i64::from((a as u64) < (b as u64))),
+            _ => {}
+        }
+    }
+
+    /// Branch conditions are each other's complements.
+    #[test]
+    fn branch_complements(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
+        prop_assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
+        prop_assert_ne!(BranchCond::Ltu.eval(a, b), BranchCond::Geu.eval(a, b));
+    }
+
+    /// Memory writes read back exactly, byte-for-byte, across page
+    /// boundaries.
+    #[test]
+    fn memory_round_trip(addr in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut m = Memory::new();
+        m.write_slice(addr, &data);
+        prop_assert_eq!(m.read_vec(addr, data.len()), data);
+    }
+
+    /// Straight-line ALU programs round-trip through assembly text.
+    #[test]
+    fn asm_round_trip(
+        ops in proptest::collection::vec((arb_alu_op(), arb_reg(), arb_reg(), arb_reg()), 1..20)
+    ) {
+        let mut instrs: Vec<Instr> = ops
+            .into_iter()
+            .map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 })
+            .collect();
+        instrs.push(Instr::Halt);
+        let p1 = Program::new("t", instrs);
+        let p2 = assemble("t", &p1.to_asm_string()).unwrap();
+        prop_assert_eq!(p1.instrs, p2.instrs);
+    }
+
+    /// The interpreter computes the same ALU result as direct evaluation.
+    #[test]
+    fn interp_matches_eval(op in arb_alu_op(), a in any::<i64>(), b in any::<i64>()) {
+        use levioso_isa::reg::{A0, A1, A2};
+        let p = Program::new(
+            "t",
+            vec![
+                Instr::Alu { op, rd: A2, rs1: A0, rs2: A1 },
+                Instr::Halt,
+            ],
+        );
+        let mut m = Machine::new();
+        m.set_reg(A0, a);
+        m.set_reg(A1, b);
+        m.run(&p, 10).unwrap();
+        prop_assert_eq!(m.reg(A2), op.eval(a, b));
+    }
+
+    /// Loads sign/zero-extend consistently with the store that produced the
+    /// bytes.
+    #[test]
+    fn load_extension_consistent(value in any::<i64>(), signed in any::<bool>()) {
+        use levioso_isa::reg::{A0, A1, T0};
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+            let p = Program::new(
+                "t",
+                vec![
+                    Instr::Store { width, src: A1, base: A0, offset: 0 },
+                    Instr::Load { width, signed, rd: T0, base: A0, offset: 0 },
+                    Instr::Halt,
+                ],
+            );
+            let mut m = Machine::new();
+            m.set_reg(A0, 0x8000);
+            m.set_reg(A1, value);
+            m.run(&p, 10).unwrap();
+            let bits = width.bytes() * 8;
+            let expected = if bits == 64 {
+                value
+            } else if signed {
+                (value << (64 - bits)) >> (64 - bits)
+            } else {
+                value & ((1i64 << bits) - 1)
+            };
+            prop_assert_eq!(m.reg(T0), expected, "width {:?} signed {}", width, signed);
+        }
+    }
+}

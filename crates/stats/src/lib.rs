@@ -1,0 +1,279 @@
+//! # levioso-stats — metrics aggregation and report rendering
+//!
+//! Small, dependency-light utilities shared by the experiment harnesses:
+//! geometric means (the aggregation the paper's figures use), aligned text
+//! tables, figure series, and JSON export of raw results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometric mean of strictly positive values.
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (geometric means of
+/// slowdown ratios are only meaningful for positive inputs).
+///
+/// ```
+/// let g = levioso_stats::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// An aligned text table with a title, rendered for terminal reports and
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"T1: simulated core configuration"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in `{}`", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let pad = widths[i] - c.chars().count();
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    && c.chars().all(|ch| {
+                        ch.is_ascii_digit() || matches!(ch, '.' | '-' | '+' | '%' | 'x' | '±')
+                    });
+                if numeric && i > 0 {
+                    s.push_str(&" ".repeat(pad));
+                    s.push_str(c);
+                } else {
+                    s.push_str(c);
+                    s.push_str(&" ".repeat(pad));
+                }
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = format!("## {}\n\n", self.title);
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One named series of `(x-label, y)` points — a bar group or line in a
+/// figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (e.g. a scheme).
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(String, f64)>,
+}
+
+/// A figure: several series over a shared x axis, rendered as a table plus
+/// a crude text bar chart (enough to eyeball shapes in a terminal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title (e.g. `"F2: overhead vs unsafe baseline"`).
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Figure { title: title.into(), y_label: y_label.into(), series: Vec::new() }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<(String, f64)>) -> &mut Self {
+        self.series.push(Series { name: name.into(), points });
+        self
+    }
+
+    /// Renders the figure as an aligned value table (x labels as rows,
+    /// series as columns).
+    pub fn render(&self) -> String {
+        let mut headers: Vec<&str> = vec!["x"];
+        headers.extend(self.series.iter().map(|s| s.name.as_str()));
+        let mut t = Table::new(format!("{} [{}]", self.title, self.y_label), &headers);
+        if let Some(first) = self.series.first() {
+            for (i, (x, _)) in first.points.iter().enumerate() {
+                let mut row = vec![x.clone()];
+                for s in &self.series {
+                    row.push(
+                        s.points
+                            .get(i)
+                            .map_or("-".to_string(), |(_, v)| format!("{v:.3}")),
+                    );
+                }
+                t.push_row(row);
+            }
+        }
+        t.render()
+    }
+
+    /// Serializes the figure to pretty JSON (for external plotting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 8.0]) - 2.828_427).abs() < 1e-5);
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1.5".into()]);
+        t.push_row(vec!["b".into(), "120.25".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("alpha"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "quo\"te".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quo\"\"te\""));
+    }
+
+    #[test]
+    fn figure_round_trips_through_json() {
+        let mut f = Figure::new("F2", "slowdown");
+        f.push_series("levioso", vec![("w1".into(), 1.2), ("w2".into(), 1.1)]);
+        let j = f.to_json();
+        let back: Figure = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, f);
+        assert!(f.render().contains("levioso"));
+    }
+}

@@ -1,0 +1,1140 @@
+//! The cycle-level out-of-order core.
+//!
+//! A deliberately explicit model of the pipeline the secure-speculation
+//! literature evaluates on: per cycle the core commits, writes back (and
+//! resolves/squashes control), issues, renames/dispatches, and fetches.
+//! Wrong-path instructions are fully executed — including their cache side
+//! effects, which persist across squash: that persistence *is* the Spectre
+//! channel the defenses must close.
+//!
+//! Memory-ordering choices (documented in DESIGN.md): loads wait until all
+//! older store addresses are known, forward on an exact address/width
+//! match, and stall on partial overlap — i.e. no memory-dependence
+//! speculation, so Spectre-v4 is out of scope by construction. Stores
+//! write memory and fill the cache at commit only.
+
+use crate::cache::Hierarchy;
+use crate::config::CoreConfig;
+use crate::dyninstr::{DynInstr, OpState, Operand, Seq, Stage};
+use crate::policy::{Gate, LoadMode, SpecView, SpeculationPolicy};
+use crate::predictor::Predictor;
+use crate::stats::SimStats;
+use levioso_isa::{read_memory, write_memory, DepSet, Instr, Memory, Program, Reg};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Register alias table entry.
+#[derive(Debug, Clone, Copy)]
+enum RatEntry {
+    /// Architectural (or already-committed) value.
+    Value(i64),
+    /// Produced by the in-flight instruction with this sequence number.
+    Producer(Seq),
+}
+
+/// An instruction fetched but not yet renamed.
+#[derive(Debug, Clone)]
+struct Fetched {
+    pc: u32,
+    instr: Instr,
+    predicted_next: u32,
+    history: u64,
+    checkpoint: Option<crate::predictor::Checkpoint>,
+    stalls_fetch: bool,
+}
+
+/// What an issuing instruction will do (decided in a read-only pass,
+/// applied in a mutating pass).
+enum IssueAction {
+    /// ALU/branch/jump/serializer/nop/halt: result and (for control) the
+    /// actual next PC were computed from ready operands.
+    Simple { idx: usize, latency: u64, result: Option<i64>, actual_next: Option<u32> },
+    /// Load served by store-to-load forwarding.
+    Forward { idx: usize, store_idx: usize, addr: u64 },
+    /// Load performing a cache access.
+    Access { idx: usize, addr: u64, value: i64, hit_only: bool },
+    /// Flush instruction evicting a line.
+    Flush { idx: usize, addr: u64 },
+    /// Store address generation.
+    StoreAddr { idx: usize, addr: u64 },
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The policy requires compiler annotations but the program has none.
+    MissingAnnotations,
+    /// The program failed structural validation.
+    Invalid(String),
+    /// The committed path ran off the end of the program (no `halt`).
+    PcOutOfRange {
+        /// The runaway program counter.
+        pc: u32,
+    },
+    /// The cycle safety limit was exceeded.
+    CycleLimit {
+        /// The exhausted limit.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingAnnotations => {
+                f.write_str("policy requires compiler annotations but the program has none")
+            }
+            SimError::Invalid(e) => write!(f, "invalid program: {e}"),
+            SimError::PcOutOfRange { pc } => {
+                write!(f, "committed path left the program at pc {pc}")
+            }
+            SimError::CycleLimit { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The out-of-order core simulator.
+///
+/// One `Simulator` owns the machine state (memory, caches, predictor) for
+/// one program run under one policy:
+///
+/// ```
+/// use levioso_uarch::{CoreConfig, Simulator, UnsafeBaseline};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = levioso_isa::assemble("t", "li a0, 41\naddi a0, a0, 1\nhalt")?;
+/// let mut sim = Simulator::new(&program, CoreConfig::default());
+/// let stats = sim.run(&UnsafeBaseline)?;
+/// assert_eq!(sim.reg(levioso_isa::reg::A0), 42);
+/// assert!(stats.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    config: CoreConfig,
+    /// Functional data memory (set up inputs before `run`, inspect outputs
+    /// after).
+    pub mem: Memory,
+    hierarchy: Hierarchy,
+    predictor: Predictor,
+
+    rob: VecDeque<DynInstr>,
+    fetch_queue: VecDeque<Fetched>,
+    fetch_pc: u32,
+    fetch_stalled: bool,
+    redirect: Option<(u64, u32)>,
+
+    rat: [RatEntry; Reg::COUNT],
+    arch_regs: [i64; Reg::COUNT],
+    /// Unresolved control instructions: seq → (pc, is_indirect).
+    unresolved: BTreeMap<Seq, (u32, bool)>,
+
+    /// Resolution cycle of every resolved control instruction (for the F1
+    /// wait accounting).
+    resolve_cycle: std::collections::HashMap<Seq, u64>,
+
+    next_seq: Seq,
+    cycle: u64,
+    /// Demand misses currently in flight (MSHR occupancy).
+    outstanding_misses: usize,
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    stats: SimStats,
+    halted: bool,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `program` with the given configuration.
+    pub fn new(program: &'p Program, config: CoreConfig) -> Self {
+        let hierarchy = Hierarchy::new(&config.hierarchy);
+        let predictor = Predictor::new(&config.predictor);
+        Simulator {
+            program,
+            config,
+            mem: Memory::new(),
+            hierarchy,
+            predictor,
+            rob: VecDeque::new(),
+            fetch_queue: VecDeque::new(),
+            fetch_pc: 0,
+            fetch_stalled: false,
+            redirect: None,
+            rat: [RatEntry::Value(0); Reg::COUNT],
+            arch_regs: [0; Reg::COUNT],
+            unresolved: BTreeMap::new(),
+            resolve_cycle: std::collections::HashMap::new(),
+            next_seq: 0,
+            cycle: 0,
+            outstanding_misses: 0,
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            stats: SimStats::default(),
+            halted: false,
+        }
+    }
+
+    /// Committed architectural value of register `r`.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.arch_regs[r.index()]
+    }
+
+    /// Sets the *initial* architectural value of `r` (before `run`).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.arch_regs[r.index()] = value;
+            self.rat[r.index()] = RatEntry::Value(value);
+        }
+    }
+
+    /// The cache hierarchy (side-channel receivers probe it after a run).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutable cache hierarchy (tests prepare cache states directly).
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Diagnostic dump of in-flight state (for debugging the simulator
+    /// itself; not a stable API).
+    #[doc(hidden)]
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle={} fetch_pc={} stalled={} redirect={:?} iq={} lq={} sq={} fq={}",
+            self.cycle,
+            self.fetch_pc,
+            self.fetch_stalled,
+            self.redirect,
+            self.iq_count,
+            self.lq_count,
+            self.sq_count,
+            self.fetch_queue.len()
+        );
+        let _ = writeln!(out, "unresolved={:?}", self.unresolved);
+        for e in &self.rob {
+            let _ = writeln!(
+                out,
+                "  seq={} pc={} {:?} stage={:?} done={} srcs={:?} addr={:?}",
+                e.seq, e.pc, e.instr, e.stage, e.done_cycle, e.srcs, e.mem_addr
+            );
+        }
+        out
+    }
+
+    /// Fingerprint of committed architectural state (registers + memory);
+    /// directly comparable with
+    /// [`levioso_isa::Machine::arch_fingerprint`].
+    pub fn arch_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &r in &self.arch_regs {
+            for b in r.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h ^ self.mem.fingerprint().rotate_left(17)
+    }
+
+    /// Runs the program to completion under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingAnnotations`] if the policy needs annotations the
+    /// program lacks; [`SimError::Invalid`] for malformed programs;
+    /// [`SimError::PcOutOfRange`] if the committed path leaves the program;
+    /// [`SimError::CycleLimit`] on runaway simulations.
+    pub fn run(&mut self, policy: &dyn SpeculationPolicy) -> Result<SimStats, SimError> {
+        if policy.needs_annotations() && self.program.annotations.is_none() {
+            return Err(SimError::MissingAnnotations);
+        }
+        self.program.validate().map_err(|e| SimError::Invalid(e.to_string()))?;
+        if self.program.is_empty() {
+            return Err(SimError::PcOutOfRange { pc: 0 });
+        }
+        while !self.halted {
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::CycleLimit { max_cycles: self.config.max_cycles });
+            }
+            self.commit();
+            if self.halted {
+                break;
+            }
+            self.writeback();
+            self.issue(policy);
+            self.dispatch();
+            self.fetch();
+            // Starvation: nothing in flight and the front end can never
+            // make progress again.
+            if self.rob.is_empty()
+                && self.fetch_queue.is_empty()
+                && self.redirect.is_none()
+                && !self.fetch_stalled
+                && self.fetch_pc as usize >= self.program.len()
+            {
+                return Err(SimError::PcOutOfRange { pc: self.fetch_pc });
+            }
+            self.cycle += 1;
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.l1d = self.hierarchy.l1d.stats();
+        self.stats.l2 = self.hierarchy.l2.stats();
+        Ok(self.stats)
+    }
+
+    /// ROB index of the live instruction `seq`, if any. Sequence numbers
+    /// are unique and ascending in the ROB but not contiguous (squashes
+    /// leave gaps), so this is a binary search.
+    fn rob_index(&self, seq: Seq) -> Option<usize> {
+        self.rob.binary_search_by(|e| e.seq.cmp(&seq)).ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            let Some(front) = self.rob.front() else { break };
+            if front.stage != Stage::Done {
+                break;
+            }
+            // Stores also need their data before retiring.
+            if front.instr.is_store() && front.srcs[1].state.value().is_none() {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked non-empty");
+            if e.instr.is_load() {
+                self.lq_count -= 1;
+            }
+            if e.instr.is_store() {
+                self.sq_count -= 1;
+            }
+            self.account_commit(&e);
+            match e.instr {
+                Instr::Store { width, .. } => {
+                    let addr = e.mem_addr.expect("committed store has an address");
+                    let data = e.srcs[1].state.value().expect("checked data ready");
+                    write_memory(&mut self.mem, addr, width, data);
+                    // The store's fill becomes architectural at commit.
+                    self.hierarchy.access(addr, self.cycle);
+                }
+                Instr::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                _ => {}
+            }
+            if let Some(rd) = e.instr.dest() {
+                let v = e.result.expect("done instruction with dest has result");
+                self.arch_regs[rd.index()] = v;
+                if let RatEntry::Producer(s) = self.rat[rd.index()] {
+                    if s == e.seq {
+                        self.rat[rd.index()] = RatEntry::Value(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn account_commit(&mut self, e: &DynInstr) {
+        self.stats.committed += 1;
+        if e.instr.is_load() {
+            self.stats.committed_loads += 1;
+            if e.ready_while_shadowed == Some(true) {
+                self.stats.loads_ready_while_shadowed += 1;
+            }
+            if e.ready_while_true_dep == Some(true) {
+                self.stats.loads_ready_while_true_dep += 1;
+            }
+        }
+        if e.instr.is_store() {
+            self.stats.committed_stores += 1;
+        }
+        if e.instr.is_branch() {
+            self.stats.committed_branches += 1;
+        }
+        if e.ready_while_shadowed == Some(true) {
+            self.stats.ready_while_shadowed += 1;
+        }
+        if e.ready_while_true_dep == Some(true) {
+            self.stats.ready_while_true_dep += 1;
+        }
+        self.stats.policy_delay_cycles += e.policy_delay_cycles;
+        if e.policy_delay_cycles > 0 {
+            self.stats.policy_delayed_instrs += 1;
+        }
+        // F1 headroom: how long past readiness the conservative shadow vs
+        // the true dependencies stayed unresolved. (Every control
+        // instruction older than a committed one has resolved, so the map
+        // lookups succeed; squashed stragglers are simply skipped.)
+        if let Some(ready) = e.first_ready_cycle {
+            let wait = |deps: &[Seq], map: &std::collections::HashMap<Seq, u64>| {
+                deps.iter()
+                    .filter_map(|s| map.get(s))
+                    .map(|&r| r.saturating_sub(ready))
+                    .max()
+                    .unwrap_or(0)
+            };
+            let sw = wait(&e.shadow, &self.resolve_cycle);
+            let tw = wait(&e.lev_deps, &self.resolve_cycle);
+            self.stats.shadow_wait_cycles += sw;
+            self.stats.true_wait_cycles += tw;
+            if e.instr.is_load() {
+                self.stats.loads_shadow_wait_cycles += sw;
+                self.stats.loads_true_wait_cycles += tw;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback & control resolution
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        // Collect completions first; squashes during resolution may remove
+        // younger completions.
+        let done: Vec<Seq> = self
+            .rob
+            .iter()
+            .filter(|e| e.stage == Stage::Executing && e.done_cycle <= self.cycle)
+            .map(|e| e.seq)
+            .collect();
+        for seq in done {
+            let Some(idx) = self.rob_index(seq) else { continue }; // squashed meanwhile
+            self.rob[idx].stage = Stage::Done;
+            if self.rob[idx].holds_mshr {
+                self.rob[idx].holds_mshr = false;
+                self.outstanding_misses -= 1;
+            }
+            let result = self.rob[idx].result;
+            // Wake consumers.
+            if self.rob[idx].instr.dest().is_some() {
+                let v = result.expect("dest implies result");
+                for e in self.rob.iter_mut() {
+                    for op in &mut e.srcs {
+                        if let OpState::Waiting(s) = op.state {
+                            if s == seq {
+                                op.state = OpState::Ready(v);
+                            }
+                        }
+                    }
+                }
+            }
+            if self.rob[idx].is_spec_source() {
+                self.resolve_control(seq);
+            }
+        }
+    }
+
+    fn resolve_control(&mut self, seq: Seq) {
+        let idx = self.rob_index(seq).expect("resolving a live instruction");
+        let e = &self.rob[idx];
+        let pc = e.pc;
+        let actual = e.actual_next.expect("executed control has actual target");
+        let predicted = e.predicted_next;
+        let was_stalling = e.fetch_stalled;
+        let history = e.history_at_predict;
+        let checkpoint = e.checkpoint.clone();
+        let instr = e.instr;
+
+        self.unresolved.remove(&seq);
+        self.resolve_cycle.insert(seq, self.cycle);
+
+        // Train.
+        match instr {
+            Instr::Branch { .. } => {
+                let taken = self.rob[idx].result == Some(1);
+                self.predictor.train_branch(pc, history, taken);
+            }
+            Instr::Jalr { rd, base, offset } => {
+                let is_ret = rd.is_zero() && base == levioso_isa::reg::RA && offset == 0;
+                if !is_ret {
+                    self.predictor.train_indirect(pc, actual);
+                }
+            }
+            _ => unreachable!("only branches and indirect jumps resolve"),
+        }
+
+        if was_stalling {
+            // The front end was waiting for this target.
+            self.redirect = Some((self.cycle + 1, actual));
+            self.fetch_stalled = false;
+            return;
+        }
+
+        if actual != predicted {
+            self.stats.mispredicts += 1;
+            self.squash_younger_than(seq);
+            if let Some(cp) = checkpoint {
+                self.predictor.restore(&cp);
+                match instr {
+                    Instr::Branch { .. } => {
+                        let taken = self.rob[self.rob_index(seq).expect("live")].result == Some(1);
+                        self.predictor.update_history(taken);
+                    }
+                    Instr::Jalr { rd, base, offset } => {
+                        // A mispredicted return still consumed its RAS entry.
+                        if rd.is_zero() && base == levioso_isa::reg::RA && offset == 0 {
+                            let _ = self.predictor.pop_return();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.redirect = Some((self.cycle + self.config.redirect_penalty, actual));
+            self.fetch_stalled = false;
+        }
+    }
+
+    fn squash_younger_than(&mut self, seq: Seq) {
+        while let Some(back) = self.rob.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("checked non-empty");
+            self.stats.squashed += 1;
+            if e.holds_mshr {
+                self.outstanding_misses -= 1;
+            }
+            if e.touched_cache {
+                self.stats.transient_fills += 1;
+            }
+            self.unresolved.remove(&e.seq);
+            match e.stage {
+                Stage::Dispatched => self.iq_count -= 1,
+                _ => {}
+            }
+            if e.instr.is_load() {
+                self.lq_count -= 1;
+            }
+            if e.instr.is_store() {
+                self.sq_count -= 1;
+            }
+        }
+        self.stats.squashed += self.fetch_queue.len() as u64;
+        self.fetch_queue.clear();
+        // Rebuild the register alias table from surviving producers.
+        for r in 1..Reg::COUNT {
+            self.rat[r] = RatEntry::Value(self.arch_regs[r]);
+        }
+        for i in 0..self.rob.len() {
+            if let Some(rd) = self.rob[i].instr.dest() {
+                self.rat[rd.index()] = match (self.rob[i].stage, self.rob[i].result) {
+                    (Stage::Done, Some(v)) => RatEntry::Value(v),
+                    _ => RatEntry::Producer(self.rob[i].seq),
+                };
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, policy: &dyn SpeculationPolicy) {
+        // Phase A: read-only scan deciding what issues this cycle.
+        let mut actions: Vec<IssueAction> = Vec::new();
+        let mut first_ready: Vec<(usize, bool, bool)> = Vec::new();
+        let mut delayed: Vec<usize> = Vec::new();
+
+        {
+            let view = SpecView { unresolved: &self.unresolved, rob: &self.rob };
+            let mut alu = self.config.alu_count;
+            let mut mul = self.config.mul_count;
+            let mut div = self.config.div_count;
+            let mut ld_ports = self.config.load_ports;
+            let mut st_ports = self.config.store_ports;
+            let mut mshrs_free =
+                self.config.mshr_count.saturating_sub(self.outstanding_misses);
+            let mut issued = 0usize;
+            let mut all_older_done = true;
+            let mut serializer_block = false;
+
+            for idx in 0..self.rob.len() {
+                let e = &self.rob[idx];
+                if e.stage != Stage::Dispatched {
+                    if e.stage != Stage::Done {
+                        all_older_done = false;
+                        if e.is_serializer() {
+                            serializer_block = true;
+                        }
+                    }
+                    continue;
+                }
+                let older_done = all_older_done;
+                all_older_done = false;
+                if e.is_serializer() {
+                    // Serializers wait for all older instructions and block
+                    // all younger ones until they complete.
+                    if older_done && !serializer_block && issued < self.config.issue_width {
+                        let result = match e.instr {
+                            Instr::RdCycle { .. } => Some(self.cycle as i64),
+                            _ => None,
+                        };
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency: 1,
+                            result,
+                            actual_next: None,
+                        });
+                        issued += 1;
+                    }
+                    serializer_block = true;
+                    continue;
+                }
+                if serializer_block {
+                    continue;
+                }
+                if issued >= self.config.issue_width {
+                    continue; // keep scanning only for serializer tracking
+                }
+
+                // Store address generation needs only the base operand.
+                let is_store = e.instr.is_store();
+                let base_ready = !is_store || e.srcs[0].state.value().is_some();
+                if !e.operands_ready() && !(is_store && base_ready) {
+                    continue;
+                }
+
+                // Record first-readiness speculation flags (F1) once.
+                if e.operands_ready() && e.ready_while_shadowed.is_none() {
+                    first_ready.push((
+                        idx,
+                        view.any_unresolved(&e.shadow),
+                        view.any_unresolved(&e.lev_deps),
+                    ));
+                }
+
+                // Universal execute gate.
+                if policy.may_execute(e, &view) == Gate::Delay {
+                    delayed.push(idx);
+                    continue;
+                }
+
+                match e.instr {
+                    Instr::Alu { op, .. } | Instr::AluImm { op, .. } => {
+                        let (unit, latency) = match op {
+                            levioso_isa::AluOp::Mul | levioso_isa::AluOp::Mulh => {
+                                (&mut mul, self.config.mul_latency)
+                            }
+                            levioso_isa::AluOp::Div | levioso_isa::AluOp::Rem => {
+                                (&mut div, self.config.div_latency)
+                            }
+                            _ => (&mut alu, 1),
+                        };
+                        if *unit == 0 {
+                            continue;
+                        }
+                        *unit -= 1;
+                        let a = e.src_value(0);
+                        let b = match e.instr {
+                            Instr::Alu { .. } => e.src_value(1),
+                            Instr::AluImm { imm, .. } => imm,
+                            _ => unreachable!(),
+                        };
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency,
+                            result: Some(op.eval(a, b)),
+                            actual_next: None,
+                        });
+                        issued += 1;
+                    }
+                    Instr::Branch { cond, target, .. } => {
+                        if alu == 0 {
+                            continue;
+                        }
+                        alu -= 1;
+                        let taken = cond.eval(e.src_value(0), e.src_value(1));
+                        let actual = if taken { target } else { e.pc + 1 };
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency: 1,
+                            result: Some(i64::from(taken)),
+                            actual_next: Some(actual),
+                        });
+                        issued += 1;
+                    }
+                    Instr::Jal { .. } => {
+                        if alu == 0 {
+                            continue;
+                        }
+                        alu -= 1;
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency: 1,
+                            result: Some((e.pc + 1) as i64),
+                            actual_next: None, // direct: never mispredicts
+                        });
+                        issued += 1;
+                    }
+                    Instr::Jalr { offset, .. } => {
+                        if alu == 0 {
+                            continue;
+                        }
+                        alu -= 1;
+                        let target = (e.src_value(0).wrapping_add(offset)) as u64 as u32;
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency: 1,
+                            result: Some((e.pc + 1) as i64),
+                            actual_next: Some(target),
+                        });
+                        issued += 1;
+                    }
+                    Instr::Nop | Instr::Halt => {
+                        actions.push(IssueAction::Simple {
+                            idx,
+                            latency: 1,
+                            result: None,
+                            actual_next: None,
+                        });
+                        issued += 1;
+                    }
+                    Instr::Fence | Instr::RdCycle { .. } => unreachable!("handled above"),
+                    Instr::Flush { offset, .. } => {
+                        if ld_ports == 0 {
+                            continue;
+                        }
+                        if policy.may_transmit(e, &view) == Gate::Delay {
+                            delayed.push(idx);
+                            continue;
+                        }
+                        ld_ports -= 1;
+                        let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
+                        actions.push(IssueAction::Flush { idx, addr });
+                        issued += 1;
+                    }
+                    Instr::Load { width, signed, offset, .. } => {
+                        if ld_ports == 0 {
+                            continue;
+                        }
+                        let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
+                        // Memory ordering against older stores.
+                        match self.lsq_check(idx, addr, width) {
+                            LsqVerdict::Blocked => continue,
+                            LsqVerdict::Forward(store_idx) => {
+                                if policy.may_transmit(e, &view) == Gate::Delay {
+                                    delayed.push(idx);
+                                    continue;
+                                }
+                                ld_ports -= 1;
+                                actions.push(IssueAction::Forward { idx, store_idx, addr });
+                                issued += 1;
+                            }
+                            LsqVerdict::Memory => {
+                                if policy.may_transmit(e, &view) == Gate::Delay {
+                                    delayed.push(idx);
+                                    continue;
+                                }
+                                let hit_only =
+                                    policy.load_mode(e, &view) == LoadMode::HitOnly;
+                                let is_l1_hit = self.hierarchy.l1d.contains(addr);
+                                if hit_only && !is_l1_hit {
+                                    // Delay-on-Miss: must wait instead of
+                                    // filling speculatively.
+                                    delayed.push(idx);
+                                    continue;
+                                }
+                                if !is_l1_hit {
+                                    // A demand miss needs an MSHR.
+                                    if mshrs_free == 0 {
+                                        continue; // structural stall
+                                    }
+                                    mshrs_free -= 1;
+                                }
+                                ld_ports -= 1;
+                                let value = read_memory(&self.mem, addr, width, signed);
+                                actions.push(IssueAction::Access { idx, addr, value, hit_only });
+                                issued += 1;
+                            }
+                        }
+                    }
+                    Instr::Store { .. } => {
+                        if e.mem_addr.is_some() {
+                            continue; // address already generated
+                        }
+                        if st_ports == 0 {
+                            continue;
+                        }
+                        st_ports -= 1;
+                        let offset = match e.instr {
+                            Instr::Store { offset, .. } => offset,
+                            _ => unreachable!(),
+                        };
+                        let base = e.srcs[0].state.value().expect("base checked ready");
+                        let addr = (base as u64).wrapping_add(offset as u64);
+                        actions.push(IssueAction::StoreAddr { idx, addr });
+                        issued += 1;
+                    }
+                }
+            }
+        }
+
+        // Phase B: apply.
+        for (idx, sh, td) in first_ready {
+            self.rob[idx].ready_while_shadowed = Some(sh);
+            self.rob[idx].ready_while_true_dep = Some(td);
+            self.rob[idx].first_ready_cycle = Some(self.cycle);
+        }
+        for idx in delayed {
+            self.rob[idx].policy_delay_cycles += 1;
+        }
+        for action in actions {
+            match action {
+                IssueAction::Simple { idx, latency, result, actual_next } => {
+                    let e = &mut self.rob[idx];
+                    e.stage = Stage::Executing;
+                    e.done_cycle = self.cycle + latency;
+                    e.result = result;
+                    e.actual_next = actual_next;
+                    self.iq_count -= 1;
+                }
+                IssueAction::Forward { idx, store_idx, addr } => {
+                    let store_seq = self.rob[store_idx].seq;
+                    let value = self.rob[store_idx].srcs[1]
+                        .state
+                        .value()
+                        .expect("forwarding store has data");
+                    let (extra_lev, extra_taint) = {
+                        let s = &self.rob[store_idx];
+                        (s.lev_deps.clone(), s.taint_roots.clone())
+                    };
+                    let width_signed = match self.rob[idx].instr {
+                        Instr::Load { width, signed, .. } => (width, signed),
+                        _ => unreachable!(),
+                    };
+                    let e = &mut self.rob[idx];
+                    // Narrowing semantics of an exact-width match: identical
+                    // width, so the raw store value re-extends the same way
+                    // a memory round-trip would.
+                    let v = extend_like_load(value, width_signed.0, width_signed.1);
+                    e.stage = Stage::Executing;
+                    e.done_cycle = self.cycle + 2;
+                    e.result = Some(v);
+                    e.forwarded_from = Some(store_seq);
+                    merge_sorted(&mut e.lev_deps, &extra_lev);
+                    merge_sorted(&mut e.taint_roots, &extra_taint);
+                    e.mem_addr = Some(addr);
+                    self.iq_count -= 1;
+                }
+                IssueAction::Access { idx, addr, value, hit_only } => {
+                    let latency = if hit_only {
+                        match self.hierarchy.access_if_l1_hit(addr) {
+                            Some(l) => l,
+                            None => {
+                                // The line phase A saw was evicted by an
+                                // earlier fill applied this same cycle:
+                                // behave as a policy delay and retry.
+                                self.rob[idx].policy_delay_cycles += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        self.hierarchy.access(addr, self.cycle)
+                    };
+                    let is_miss = latency > self.config.hierarchy.l1d.hit_latency;
+                    if is_miss {
+                        self.outstanding_misses += 1;
+                    }
+                    let e = &mut self.rob[idx];
+                    e.stage = Stage::Executing;
+                    e.done_cycle = self.cycle + latency;
+                    e.result = Some(value);
+                    e.mem_addr = Some(addr);
+                    e.holds_mshr = is_miss;
+                    // Invisible (hit-only) accesses change no cache state.
+                    e.touched_cache = !hit_only;
+                    self.iq_count -= 1;
+                }
+                IssueAction::Flush { idx, addr } => {
+                    self.hierarchy.flush_line(addr);
+                    let e = &mut self.rob[idx];
+                    e.stage = Stage::Executing;
+                    e.done_cycle = self.cycle + 1;
+                    e.mem_addr = Some(addr);
+                    e.touched_cache = true;
+                    self.iq_count -= 1;
+                }
+                IssueAction::StoreAddr { idx, addr } => {
+                    let e = &mut self.rob[idx];
+                    e.stage = Stage::Executing;
+                    e.done_cycle = self.cycle + 1;
+                    e.mem_addr = Some(addr);
+                    self.iq_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Memory-ordering verdict for a load at ROB index `idx`.
+    fn lsq_check(&self, idx: usize, addr: u64, width: levioso_isa::MemWidth) -> LsqVerdict {
+        let lo = addr;
+        let hi = addr.wrapping_add(width.bytes());
+        let mut forward: Option<usize> = None;
+        for j in 0..idx {
+            let s = &self.rob[j];
+            if !s.instr.is_store() {
+                continue;
+            }
+            let Some(sa) = s.mem_addr else {
+                return LsqVerdict::Blocked; // unknown older store address
+            };
+            let sw = match s.instr {
+                Instr::Store { width, .. } => width.bytes(),
+                _ => unreachable!(),
+            };
+            let s_hi = sa.wrapping_add(sw);
+            let overlap = sa < hi && lo < s_hi;
+            if !overlap {
+                continue;
+            }
+            if sa == addr && sw == width.bytes() {
+                forward = Some(j); // youngest exact match wins
+            } else {
+                // Partial overlap: wait for the store to drain at commit.
+                return LsqVerdict::Blocked;
+            }
+        }
+        match forward {
+            Some(j) => {
+                if self.rob[j].srcs[1].state.value().is_some() {
+                    LsqVerdict::Forward(j)
+                } else {
+                    LsqVerdict::Blocked // data not yet available
+                }
+            }
+            None => LsqVerdict::Memory,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.dispatch_width {
+            let Some(f) = self.fetch_queue.front() else { break };
+            if self.rob.len() >= self.config.rob_size || self.iq_count >= self.config.iq_size {
+                break;
+            }
+            if f.instr.is_load() && self.lq_count >= self.config.lq_size {
+                break;
+            }
+            if f.instr.is_store() && self.sq_count >= self.config.sq_size {
+                break;
+            }
+            let f = self.fetch_queue.pop_front().expect("checked non-empty");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.dispatched += 1;
+
+            let mut e = DynInstr::new(seq, f.pc, f.instr);
+            e.predicted_next = f.predicted_next;
+            e.history_at_predict = f.history;
+            e.checkpoint = f.checkpoint;
+            e.fetch_stalled = f.stalls_fetch;
+
+            // Conservative shadow: every unresolved older control instr.
+            e.shadow = self.unresolved.keys().copied().collect();
+
+            // Annotation instances: unresolved dynamic instances of the
+            // statically annotated branches, plus every unresolved indirect
+            // jump (hardware barrier rule).
+            let ann = self.program.annotations.as_ref().map(|a| a.deps_of(f.pc as usize));
+            e.ann_deps = match ann {
+                Some(DepSet::Exact(static_deps)) => self
+                    .unresolved
+                    .iter()
+                    .filter(|(_, &(pc, indirect))| {
+                        indirect || static_deps.binary_search(&pc).is_ok()
+                    })
+                    .map(|(&s, _)| s)
+                    .collect(),
+                Some(DepSet::AllOlder) | None => e.shadow.clone(),
+            };
+            e.lev_deps = e.ann_deps.clone();
+
+            // Rename sources; inherit Levioso deps + STT taint through the
+            // register dataflow.
+            for reg in f.instr.sources() {
+                let state = if reg.is_zero() {
+                    OpState::Ready(0)
+                } else {
+                    match self.rat[reg.index()] {
+                        RatEntry::Value(v) => OpState::Ready(v),
+                        RatEntry::Producer(p) => {
+                            if let Some(pidx) = self.rob_index(p) {
+                                let prod = &self.rob[pidx];
+                                let lev: Vec<Seq> = prod
+                                    .lev_deps
+                                    .iter()
+                                    .copied()
+                                    .filter(|s| self.unresolved.contains_key(s))
+                                    .collect();
+                                merge_sorted(&mut e.lev_deps, &lev);
+                                merge_sorted(&mut e.taint_roots, &prod.taint_roots);
+                                if prod.instr.is_load() {
+                                    let root = [p];
+                                    merge_sorted(&mut e.taint_roots, &root);
+                                }
+                                match (prod.stage, prod.result) {
+                                    (Stage::Done, Some(v)) => OpState::Ready(v),
+                                    _ => OpState::Waiting(p),
+                                }
+                            } else {
+                                // Producer left the ROB: its value is
+                                // architectural.
+                                OpState::Ready(self.arch_regs[reg.index()])
+                            }
+                        }
+                    }
+                };
+                e.srcs.push(Operand { reg, state });
+            }
+
+            if let Some(rd) = f.instr.dest() {
+                self.rat[rd.index()] = RatEntry::Producer(seq);
+            }
+            if e.is_spec_source() {
+                self.unresolved.insert(seq, (f.pc, f.instr.is_indirect()));
+            }
+            if f.instr.is_load() {
+                self.lq_count += 1;
+            }
+            if f.instr.is_store() {
+                self.sq_count += 1;
+            }
+            self.iq_count += 1;
+            self.rob.push_back(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if let Some((ready_at, pc)) = self.redirect {
+            if self.cycle >= ready_at {
+                self.fetch_pc = pc;
+                self.redirect = None;
+            } else {
+                return;
+            }
+        }
+        if self.fetch_stalled {
+            return;
+        }
+        let cap = self.config.fetch_width * 2;
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_queue.len() >= cap {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(&instr) = self.program.instrs.get(pc as usize) else { break };
+            let mut fetched = Fetched {
+                pc,
+                instr,
+                predicted_next: pc + 1,
+                history: 0,
+                checkpoint: None,
+                stalls_fetch: false,
+            };
+            match instr {
+                Instr::Branch { target, .. } => {
+                    fetched.history = self.predictor.history();
+                    fetched.checkpoint = Some(self.predictor.checkpoint());
+                    let taken = self.predictor.predict_branch(pc);
+                    fetched.predicted_next = if taken { target } else { pc + 1 };
+                }
+                Instr::Jal { rd, target } => {
+                    if !rd.is_zero() {
+                        self.predictor.push_return(pc + 1);
+                    }
+                    fetched.predicted_next = target;
+                }
+                Instr::Jalr { rd, base, offset } => {
+                    fetched.history = self.predictor.history();
+                    fetched.checkpoint = Some(self.predictor.checkpoint());
+                    let is_ret = rd.is_zero() && base == levioso_isa::reg::RA && offset == 0;
+                    let prediction = if is_ret {
+                        self.predictor.pop_return()
+                    } else {
+                        self.predictor.predict_indirect(pc)
+                    };
+                    match prediction {
+                        Some(t) => fetched.predicted_next = t,
+                        None => {
+                            fetched.predicted_next = u32::MAX;
+                            fetched.stalls_fetch = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.stats.fetched += 1;
+            let next = fetched.predicted_next;
+            let stall = fetched.stalls_fetch;
+            self.fetch_queue.push_back(fetched);
+            if stall {
+                self.fetch_stalled = true;
+                break;
+            }
+            self.fetch_pc = next;
+        }
+    }
+}
+
+enum LsqVerdict {
+    /// Must wait (unknown older store address, partial overlap, or
+    /// forwarding data not ready).
+    Blocked,
+    /// Forward from the store at this ROB index.
+    Forward(usize),
+    /// Safe to read from the memory system.
+    Memory,
+}
+
+/// Re-extends a raw store value the way a load of the same width would.
+fn extend_like_load(value: i64, width: levioso_isa::MemWidth, signed: bool) -> i64 {
+    use levioso_isa::MemWidth::*;
+    let bits = match width {
+        B => 8,
+        H => 16,
+        W => 32,
+        D => 64,
+    };
+    if bits == 64 {
+        value
+    } else if signed {
+        (value << (64 - bits)) >> (64 - bits)
+    } else {
+        value & ((1i64 << bits) - 1)
+    }
+}
+
+/// Merges sorted `extra` into sorted `dst`, deduplicating.
+fn merge_sorted(dst: &mut Vec<Seq>, extra: &[Seq]) {
+    if extra.is_empty() {
+        return;
+    }
+    dst.extend_from_slice(extra);
+    dst.sort_unstable();
+    dst.dedup();
+}

@@ -1,0 +1,224 @@
+//! Dynamic (in-flight) instruction state.
+
+use levioso_isa::{Instr, Reg};
+
+/// Monotonic dynamic instruction sequence number (never reused within a
+/// simulation; orders age).
+pub type Seq = u64;
+
+/// Pipeline stage of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Renamed into the ROB, waiting to issue.
+    Dispatched,
+    /// Issued; completes at `done_cycle`.
+    Executing,
+    /// Executed; result available, waiting to commit.
+    Done,
+}
+
+/// One renamed source operand.
+#[derive(Debug, Clone, Copy)]
+pub struct Operand {
+    /// Architectural register read.
+    pub reg: Reg,
+    /// Readiness.
+    pub state: OpState,
+}
+
+/// Operand readiness.
+#[derive(Debug, Clone, Copy)]
+pub enum OpState {
+    /// Value known.
+    Ready(i64),
+    /// Waiting for the in-flight producer with this sequence number.
+    Waiting(Seq),
+}
+
+impl OpState {
+    /// The value, if ready.
+    pub fn value(&self) -> Option<i64> {
+        match *self {
+            OpState::Ready(v) => Some(v),
+            OpState::Waiting(_) => None,
+        }
+    }
+}
+
+/// A dynamic instruction in the reorder buffer.
+///
+/// Alongside ordinary out-of-order bookkeeping it carries the three
+/// speculation-tracking sets every policy is judged on:
+///
+/// * [`shadow`](Self::shadow) — all older control instructions unresolved
+///   at rename (what a hardware-only scheme must assume);
+/// * [`ann_deps`](Self::ann_deps) — older unresolved instances of the
+///   *statically annotated* branches (plus unresolved indirect jumps, which
+///   are always barriers);
+/// * [`lev_deps`](Self::lev_deps) — `ann_deps` closed over dynamic register
+///   dataflow at rename and store-to-load forwarding: the full Levioso
+///   dependency set;
+/// * [`taint_roots`](Self::taint_roots) — in-flight loads whose values flow
+///   into this instruction's operands (STT's taint).
+#[derive(Debug, Clone)]
+pub struct DynInstr {
+    /// Age-ordering sequence number.
+    pub seq: Seq,
+    /// Instruction index in the program.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Current stage.
+    pub stage: Stage,
+    /// Cycle at which execution completes (valid while `Executing`).
+    pub done_cycle: u64,
+    /// Renamed source operands (0–2).
+    pub srcs: Vec<Operand>,
+    /// Result value (valid once `Done`, for instructions with a dest).
+    pub result: Option<i64>,
+
+    /// Next PC predicted at fetch.
+    pub predicted_next: u32,
+    /// Whether the front end stalled for this control instruction (no
+    /// target prediction was available).
+    pub fetch_stalled: bool,
+    /// Global history at prediction time (for trainer).
+    pub history_at_predict: u64,
+    /// Predictor snapshot for squash repair (control instructions only).
+    pub checkpoint: Option<crate::predictor::Checkpoint>,
+    /// Actual next PC (valid once a control instruction executes).
+    pub actual_next: Option<u32>,
+
+    /// Effective address (valid once a load/store/flush computes it).
+    pub mem_addr: Option<u64>,
+    /// Store data value (captured when the data operand becomes ready).
+    pub store_data: Option<i64>,
+    /// For forwarded loads: the store that supplied the data.
+    pub forwarded_from: Option<Seq>,
+
+    /// All older control instructions unresolved at rename.
+    pub shadow: Vec<Seq>,
+    /// Unresolved instances of statically annotated branch dependencies
+    /// (plus unresolved indirect jumps).
+    pub ann_deps: Vec<Seq>,
+    /// Full Levioso dependency set (annotation instances ∪ deps inherited
+    /// through register dataflow and store forwarding).
+    pub lev_deps: Vec<Seq>,
+    /// STT taint roots: in-flight loads whose values reach this
+    /// instruction's operands.
+    pub taint_roots: Vec<Seq>,
+
+    /// Measured at first operand-readiness: was any `shadow` branch still
+    /// unresolved? (F1 motivation counter, conservative view.)
+    pub ready_while_shadowed: Option<bool>,
+    /// Measured at first operand-readiness: was any `lev_deps` branch still
+    /// unresolved? (F1 motivation counter, true-dependency view.)
+    pub ready_while_true_dep: Option<bool>,
+    /// Cycles this instruction spent blocked *only* by the policy.
+    pub policy_delay_cycles: u64,
+    /// Cycle at which all operands first became ready.
+    pub first_ready_cycle: Option<u64>,
+    /// Whether this instruction performed a state-changing cache access
+    /// (demand load access or flush) during execution.
+    pub touched_cache: bool,
+    /// Whether this in-flight load occupies a miss-status-holding register.
+    pub holds_mshr: bool,
+}
+
+impl DynInstr {
+    /// Creates a dispatched instruction with empty tracking sets.
+    pub fn new(seq: Seq, pc: u32, instr: Instr) -> Self {
+        DynInstr {
+            seq,
+            pc,
+            instr,
+            stage: Stage::Dispatched,
+            done_cycle: 0,
+            srcs: Vec::new(),
+            result: None,
+            predicted_next: pc + 1,
+            fetch_stalled: false,
+            history_at_predict: 0,
+            checkpoint: None,
+            actual_next: None,
+            mem_addr: None,
+            store_data: None,
+            forwarded_from: None,
+            shadow: Vec::new(),
+            ann_deps: Vec::new(),
+            lev_deps: Vec::new(),
+            taint_roots: Vec::new(),
+            ready_while_shadowed: None,
+            ready_while_true_dep: None,
+            policy_delay_cycles: 0,
+            first_ready_cycle: None,
+            touched_cache: false,
+            holds_mshr: false,
+        }
+    }
+
+    /// Whether every source operand is ready.
+    pub fn operands_ready(&self) -> bool {
+        self.srcs.iter().all(|o| matches!(o.state, OpState::Ready(_)))
+    }
+
+    /// Value of source operand `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not ready.
+    pub fn src_value(&self, idx: usize) -> i64 {
+        self.srcs[idx].state.value().expect("operand not ready")
+    }
+
+    /// Whether this is a control instruction that resolves at execute
+    /// (conditional branch or indirect jump; direct jumps never
+    /// mispredict in this front end).
+    pub fn is_spec_source(&self) -> bool {
+        matches!(self.instr, Instr::Branch { .. } | Instr::Jalr { .. })
+    }
+
+    /// Whether this instruction serializes the pipeline (`fence`,
+    /// `rdcycle`): it issues only when all older instructions are done, and
+    /// younger instructions wait for it.
+    pub fn is_serializer(&self) -> bool {
+        matches!(self.instr, Instr::Fence | Instr::RdCycle { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_isa::reg::*;
+    use levioso_isa::{AluOp, BranchCond};
+
+    #[test]
+    fn operand_readiness() {
+        let mut d = DynInstr::new(1, 0, Instr::Alu { op: AluOp::Add, rd: A0, rs1: A1, rs2: A2 });
+        d.srcs = vec![
+            Operand { reg: A1, state: OpState::Ready(5) },
+            Operand { reg: A2, state: OpState::Waiting(0) },
+        ];
+        assert!(!d.operands_ready());
+        d.srcs[1].state = OpState::Ready(7);
+        assert!(d.operands_ready());
+        assert_eq!(d.src_value(0), 5);
+        assert_eq!(d.src_value(1), 7);
+    }
+
+    #[test]
+    fn classification() {
+        let b = DynInstr::new(
+            1,
+            0,
+            Instr::Branch { cond: BranchCond::Eq, rs1: A0, rs2: ZERO, target: 0 },
+        );
+        assert!(b.is_spec_source());
+        let j = DynInstr::new(2, 0, Instr::Jal { rd: RA, target: 5 });
+        assert!(!j.is_spec_source(), "direct jumps never mispredict");
+        let f = DynInstr::new(3, 0, Instr::Fence);
+        assert!(f.is_serializer());
+        let r = DynInstr::new(4, 0, Instr::RdCycle { rd: A0 });
+        assert!(r.is_serializer());
+    }
+}

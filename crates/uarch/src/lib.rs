@@ -1,0 +1,36 @@
+//! # levioso-uarch — cycle-level out-of-order core simulator
+//!
+//! The hardware substrate of the [Levioso (DAC '24)] reproduction: an
+//! explicit out-of-order pipeline (fetch → rename → issue → execute →
+//! commit) with gshare + RAS + indirect-target branch prediction, a
+//! two-level cache hierarchy whose state persists across squashes (the
+//! Spectre side channel), store-to-load forwarding, and full wrong-path
+//! execution.
+//!
+//! Secure-speculation schemes plug in through [`SpeculationPolicy`]: the
+//! core computes, for every in-flight instruction, the conservative
+//! speculation shadow, the Levioso true-dependency set (static annotation
+//! instances closed over dynamic dataflow), and STT-style taint roots; a
+//! policy is a set of pure predicates over that state. All schemes in
+//! `levioso-core` are compared on this identical dynamic state.
+//!
+//! [Levioso (DAC '24)]: https://doi.org/10.1145/3649329.3655632
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod config;
+mod core;
+pub mod dyninstr;
+pub mod policy;
+pub mod predictor;
+pub mod stats;
+
+pub use crate::core::{SimError, Simulator};
+pub use cache::{CacheStats, Hierarchy, SetAssocCache};
+pub use config::{CacheConfig, CoreConfig, HierarchyConfig, PredictorConfig};
+pub use dyninstr::{DynInstr, OpState, Operand, Seq, Stage};
+pub use policy::{Gate, LoadMode, SpecView, SpeculationPolicy, UnsafeBaseline};
+pub use predictor::Predictor;
+pub use stats::SimStats;

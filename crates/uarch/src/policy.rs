@@ -1,0 +1,130 @@
+//! The secure-speculation policy interface.
+//!
+//! The simulator computes identical speculation-tracking state for every
+//! scheme (see [`DynInstr`]); a policy is a set of pure predicates over
+//! that state deciding, each cycle, whether an instruction may begin
+//! execution and how a load may touch the cache. Policies therefore differ
+//! *only* in what they restrict — exactly the comparison the paper makes.
+//!
+//! Concrete policies (the Levioso scheme and all baselines) live in
+//! `levioso-core`; this crate only defines the contract plus the trivial
+//! [`UnsafeBaseline`].
+
+use crate::dyninstr::{DynInstr, Seq, Stage};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Verdict for an execution attempt this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// May proceed.
+    Allow,
+    /// Must wait; the core retries next cycle.
+    Delay,
+}
+
+/// How a permitted load may access the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Normal demand access: fills and updates replacement state.
+    Normal,
+    /// Delay-on-Miss style: serve L1 hits without updating replacement
+    /// state; on a miss the load waits instead of filling.
+    HitOnly,
+}
+
+/// Read-only view of the core's speculation state, passed to policies.
+#[derive(Debug)]
+pub struct SpecView<'a> {
+    pub(crate) unresolved: &'a BTreeMap<Seq, (u32, bool)>,
+    pub(crate) rob: &'a VecDeque<DynInstr>,
+}
+
+impl<'a> SpecView<'a> {
+    /// Whether the control instruction `seq` is still unresolved (it has
+    /// not yet executed). Resolved or squashed instructions return `false`.
+    pub fn is_unresolved(&self, seq: Seq) -> bool {
+        self.unresolved.contains_key(&seq)
+    }
+
+    /// Whether the control instruction `seq` has not yet *committed*
+    /// (commit-release schemes). True while the instruction is still in the
+    /// ROB.
+    pub fn is_uncommitted(&self, seq: Seq) -> bool {
+        self.entry(seq).is_some()
+    }
+
+    /// The ROB entry for `seq`, if still in flight. Sequence numbers are
+    /// ascending but not contiguous in the ROB (squashes leave gaps).
+    pub fn entry(&self, seq: Seq) -> Option<&DynInstr> {
+        let idx = self.rob.binary_search_by(|e| e.seq.cmp(&seq)).ok()?;
+        Some(&self.rob[idx])
+    }
+
+    /// Whether any branch in `deps` is still unresolved.
+    pub fn any_unresolved(&self, deps: &[Seq]) -> bool {
+        deps.iter().any(|&s| self.is_unresolved(s))
+    }
+
+    /// Whether any branch in `deps` has not yet committed.
+    pub fn any_uncommitted(&self, deps: &[Seq]) -> bool {
+        deps.iter().any(|&s| self.is_uncommitted(s))
+    }
+
+    /// STT taint liveness: a taint root (a load) is *active* while it is
+    /// still in flight and itself speculative (some older control
+    /// instruction in its shadow is unresolved) — or while it has not even
+    /// executed yet (its value, once produced, will be speculative).
+    pub fn taint_active(&self, root: Seq) -> bool {
+        match self.entry(root) {
+            None => false, // committed or squashed: no longer speculative
+            Some(e) => e.stage != Stage::Done || self.any_unresolved(&e.shadow),
+        }
+    }
+}
+
+/// A secure-speculation scheme: pure gating predicates over per-instruction
+/// speculation state.
+pub trait SpeculationPolicy: std::fmt::Debug {
+    /// Short scheme name used in reports (e.g. `"levioso"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the scheme requires compiler annotations on the program.
+    fn needs_annotations(&self) -> bool {
+        false
+    }
+
+    /// Gate applied to **every** instruction before it may begin execution.
+    fn may_execute(&self, _instr: &DynInstr, _view: &SpecView<'_>) -> Gate {
+        Gate::Allow
+    }
+
+    /// Additional gate applied to *transmit* instructions (loads and
+    /// flushes) — the instructions whose execution perturbs
+    /// microarchitectural state as a function of their operands.
+    fn may_transmit(&self, _instr: &DynInstr, _view: &SpecView<'_>) -> Gate {
+        Gate::Allow
+    }
+
+    /// How a transmit-permitted load may access the cache.
+    fn load_mode(&self, _instr: &DynInstr, _view: &SpecView<'_>) -> LoadMode {
+        LoadMode::Normal
+    }
+}
+
+/// The unprotected out-of-order baseline: everything allowed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnsafeBaseline;
+
+impl UnsafeBaseline {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        UnsafeBaseline
+    }
+}
+
+impl SpeculationPolicy for UnsafeBaseline {
+    fn name(&self) -> &'static str {
+        "unsafe"
+    }
+}

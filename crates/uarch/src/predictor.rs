@@ -1,0 +1,232 @@
+//! Branch prediction: gshare direction predictor, indirect-target buffer,
+//! and a return-address stack.
+//!
+//! Conditional-branch *targets* are static in lev64 and verified at decode,
+//! so only the taken/not-taken direction is speculated for them. Indirect
+//! jumps (`jalr`) speculate the full target: returns through the RAS,
+//! everything else through a last-target buffer; with no prediction
+//! available the front end stalls until the jump resolves.
+//!
+//! The predictor state that speculation corrupts (global history, RAS) is
+//! checkpointed at every prediction and restored on squash.
+
+use crate::config::PredictorConfig;
+
+/// Direction + target predictor with checkpoint/restore.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    /// 2-bit saturating counters.
+    counters: Vec<u8>,
+    history_mask: u64,
+    /// Speculative global history (youngest outcome in bit 0).
+    history: u64,
+    /// Indirect-target buffer: direct-mapped `pc -> last target`.
+    itb: Vec<Option<(u32, u32)>>,
+    itb_mask: usize,
+    /// Return-address stack.
+    ras: Vec<u32>,
+    ras_limit: usize,
+}
+
+/// Snapshot of the speculative predictor state taken at a prediction point.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    history: u64,
+    ras: Vec<u32>,
+}
+
+impl Predictor {
+    /// Builds a predictor from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `btb_entries` is not a power of two.
+    pub fn new(config: &PredictorConfig) -> Self {
+        assert!(config.btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        Predictor {
+            counters: vec![1u8; 1 << config.gshare_history_bits], // weakly not-taken
+            history_mask: (1u64 << config.gshare_history_bits) - 1,
+            history: 0,
+            itb: vec![None; config.btb_entries],
+            itb_mask: config.btb_entries - 1,
+            ras: Vec::new(),
+            ras_limit: config.ras_entries,
+        }
+    }
+
+    #[inline]
+    fn counter_index(&self, pc: u32) -> usize {
+        ((pc as u64 ^ self.history) & self.history_mask) as usize
+    }
+
+    /// Snapshot the speculative state (history + RAS) for later repair.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint { history: self.history, ras: self.ras.clone() }
+    }
+
+    /// Restores a snapshot taken at the (now mispredicted) branch.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.history = cp.history;
+        self.ras = cp.ras.clone();
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and
+    /// speculatively updates history.
+    pub fn predict_branch(&mut self, pc: u32) -> bool {
+        let taken = self.counters[self.counter_index(pc)] >= 2;
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        taken
+    }
+
+    /// Trains the direction predictor with the actual outcome. `history` is
+    /// the value captured in the branch's [`Checkpoint`] (the history the
+    /// prediction was made with).
+    pub fn train_branch(&mut self, pc: u32, history_at_predict: u64, taken: bool) {
+        let idx = ((pc as u64 ^ history_at_predict) & self.history_mask) as usize;
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Fixes the speculative history after a direction misprediction: call
+    /// [`Predictor::restore`] first, then this with the actual outcome.
+    pub fn update_history(&mut self, taken: bool) {
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+    }
+
+    /// Records a call's return address on the RAS.
+    pub fn push_return(&mut self, return_pc: u32) {
+        if self.ras.len() == self.ras_limit {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    /// Predicts a return target by popping the RAS.
+    pub fn pop_return(&mut self) -> Option<u32> {
+        self.ras.pop()
+    }
+
+    /// Predicts an indirect (non-return) jump target from the last-target
+    /// buffer.
+    pub fn predict_indirect(&self, pc: u32) -> Option<u32> {
+        let slot = self.itb[pc as usize & self.itb_mask];
+        slot.and_then(|(tag, target)| (tag == pc).then_some(target))
+    }
+
+    /// Trains the indirect-target buffer with an observed target.
+    pub fn train_indirect(&mut self, pc: u32, target: u32) {
+        self.itb[pc as usize & self.itb_mask] = Some((pc, target));
+    }
+
+    /// Current speculative history (captured into checkpoints by the core).
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Predictor {
+        Predictor::new(&PredictorConfig { gshare_history_bits: 8, btb_entries: 16, ras_entries: 4 })
+    }
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut pr = p();
+        let mut correct_late = 0;
+        for i in 0..100 {
+            let h = pr.history();
+            let pred = pr.predict_branch(42);
+            if pred {
+                if i >= 50 {
+                    correct_late += 1;
+                }
+            } else {
+                // Mispredict: repair speculative history like the core.
+                let cp = Checkpoint { history: h, ras: vec![] };
+                pr.restore(&cp);
+                pr.update_history(true);
+            }
+            pr.train_branch(42, h, true);
+        }
+        assert!(correct_late >= 49, "always-taken should be mastered, got {correct_late}/50");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_with_history() {
+        let mut pr = p();
+        // Alternating T/N branch: gshare should learn it via history.
+        let mut correct = 0;
+        let mut outcome = false;
+        for i in 0..200 {
+            outcome = !outcome;
+            let h = pr.history();
+            let pred = pr.predict_branch(7);
+            if pred == outcome && i >= 100 {
+                correct += 1;
+            }
+            if pred != outcome {
+                // Mispredict: repair history like the core does.
+                let cp = Checkpoint { history: h, ras: vec![] };
+                pr.restore(&cp);
+                pr.update_history(outcome);
+            }
+            pr.train_branch(7, h, outcome);
+        }
+        assert!(correct >= 95, "gshare should master the alternation, got {correct}/100");
+    }
+
+    #[test]
+    fn ras_predicts_matched_returns() {
+        let mut pr = p();
+        pr.push_return(10);
+        pr.push_return(20);
+        assert_eq!(pr.pop_return(), Some(20));
+        assert_eq!(pr.pop_return(), Some(10));
+        assert_eq!(pr.pop_return(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut pr = p();
+        for i in 0..6 {
+            pr.push_return(i);
+        }
+        assert_eq!(pr.pop_return(), Some(5));
+        assert_eq!(pr.pop_return(), Some(4));
+        assert_eq!(pr.pop_return(), Some(3));
+        assert_eq!(pr.pop_return(), Some(2));
+        assert_eq!(pr.pop_return(), None, "0 and 1 were pushed out");
+    }
+
+    #[test]
+    fn checkpoint_restores_history_and_ras() {
+        let mut pr = p();
+        pr.push_return(5);
+        let cp = pr.checkpoint();
+        pr.predict_branch(1);
+        pr.predict_branch(2);
+        pr.pop_return();
+        pr.restore(&cp);
+        assert_eq!(pr.history(), cp.history);
+        assert_eq!(pr.pop_return(), Some(5));
+    }
+
+    #[test]
+    fn indirect_buffer_tags() {
+        let mut pr = p();
+        assert_eq!(pr.predict_indirect(3), None);
+        pr.train_indirect(3, 99);
+        assert_eq!(pr.predict_indirect(3), Some(99));
+        // Aliasing entry with a different tag must not hit.
+        assert_eq!(pr.predict_indirect(3 + 16), None);
+        pr.train_indirect(3 + 16, 7);
+        assert_eq!(pr.predict_indirect(3), None, "evicted by alias");
+    }
+}

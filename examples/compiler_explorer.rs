@@ -1,0 +1,62 @@
+//! Compiler explorer: show what the Levioso analysis computes for a small
+//! program — reconvergence points and per-instruction true branch
+//! dependencies, side by side with the generated assembly.
+//!
+//! ```sh
+//! cargo run --release --example compiler_explorer
+//! ```
+
+use levioso::compiler::{levi, Analysis};
+use levioso::isa::DepSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r"
+    arr a @ 0x10000;
+    const N = 64;
+    fn main() {
+        let i = 0;
+        let sum = 0;
+        while (i < N) {
+            if (a[i] > 0) { sum = sum + a[i]; }
+            i = i + 1;
+        }
+        a[N] = sum;
+    }
+    ";
+    println!("--- Levi source ---{source}");
+
+    let program = levi::compile("explorer", source)?;
+    let analysis = Analysis::of(&program);
+    let annotations = program.annotations.as_ref().expect("compile() annotates");
+
+    println!("--- lev64 + true branch dependencies ---");
+    for (i, instr) in program.instrs.iter().enumerate() {
+        let deps = match annotations.deps_of(i) {
+            DepSet::Exact(v) if v.is_empty() => "-".to_string(),
+            DepSet::Exact(v) => v
+                .iter()
+                .map(|d| format!("@{d}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            DepSet::AllOlder => "ALL-OLDER".to_string(),
+        };
+        let reconv = if instr.is_branch() {
+            match analysis.reconvergence_point(&program, i as u32) {
+                Some(r) => format!("   ; reconverges at @{r}"),
+                None => "   ; no reconvergence".to_string(),
+            }
+        } else {
+            String::new()
+        };
+        println!("@{i:<3} {instr:<28} deps: {deps}{reconv}");
+    }
+
+    let cost = annotations.cost();
+    println!("\n--- annotation cost ---");
+    println!("instructions:        {}", cost.instructions);
+    println!("deps/instruction:    {:.2}", cost.deps_per_instr());
+    println!("hint bits/instr:     {:.2}", cost.bits_per_instr());
+    println!("largest set:         {}", cost.max_deps);
+    println!("conservative fallbacks: {}", cost.all_older);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # levioso — reproduction of "Levioso: Efficient Compiler-Informed Secure Speculation" (DAC '24)
+//!
+//! This facade crate re-exports the whole system; see the README for the
+//! architecture and DESIGN.md for the experiment index.
+//!
+//! * [`isa`] — the lev64 instruction set, assembler, and reference
+//!   interpreter;
+//! * [`compiler`] — CFG analysis, post-dominators, control dependence, the
+//!   branch-dependency annotation pass, and the Levi source language;
+//! * [`uarch`] — the cycle-level out-of-order core simulator;
+//! * [`core`] — the Levioso policy, all baseline defenses, and the scheme
+//!   registry;
+//! * [`attacks`] — Spectre-style gadgets with an in-simulation receiver;
+//! * [`workloads`] — the twelve-kernel SPEC-stand-in suite;
+//! * [`stats`] — metrics aggregation and report rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use levioso::core::{run_scheme, Scheme};
+//! use levioso::uarch::CoreConfig;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = levioso::compiler::levi::compile(
+//!     "demo",
+//!     r"
+//!     arr a @ 0x10000;
+//!     fn main() {
+//!         let i = 0;
+//!         let sum = 0;
+//!         while (i < 16) {
+//!             if (a[i] > 0) { sum = sum + a[i]; }
+//!             i = i + 1;
+//!         }
+//!         a[16] = sum;
+//!     }
+//!     ",
+//! )?;
+//! let stats = run_scheme(&program, Scheme::Levioso, &CoreConfig::default(), |_| {})?;
+//! assert!(stats.committed > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use levioso_attacks as attacks;
+pub use levioso_compiler as compiler;
+pub use levioso_core as core;
+pub use levioso_isa as isa;
+pub use levioso_stats as stats;
+pub use levioso_uarch as uarch;
+pub use levioso_workloads as workloads;

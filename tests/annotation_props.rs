@@ -1,0 +1,145 @@
+//! Property tests on the annotation pass itself: structural validity,
+//! monotonicity between flavours, and soundness-preserving coarsening, over
+//! random Levi programs.
+
+use levioso::compiler::{annotate_with, AnnotateConfig};
+use levioso::isa::DepSet;
+use proptest::prelude::*;
+
+/// Small random structured programs (a lighter generator than the
+/// equivalence test's: no data needed, just shapes).
+fn arb_source() -> impl Strategy<Value = String> {
+    let expr = prop_oneof![
+        (-20i64..20).prop_map(|v| v.to_string()),
+        (0usize..3).prop_map(|v| format!("v{v}")),
+        (0i64..16).prop_map(|i| format!("a[{i}]")),
+        ((0usize..3), (0i64..16)).prop_map(|(v, i)| format!("(v{v} + a[{i}])")),
+    ];
+    let stmt = prop_oneof![
+        (0usize..3, expr.clone()).prop_map(|(v, e)| format!("v{v} = {e};")),
+        (0i64..16, expr.clone()).prop_map(|(i, e)| format!("a[{i}] = {e};")),
+        (expr.clone(), 0usize..3, expr.clone())
+            .prop_map(|(c, v, e)| format!("if ({c}) {{ v{v} = {e}; }}")),
+        (expr.clone(), 0usize..3, expr.clone()).prop_map(|(c, v, e)| {
+            format!("if ({c}) {{ v{v} = {e}; }} else {{ v{v} = 0 - {e}; }}")
+        }),
+        (1i64..8, 0usize..3, expr).prop_map(|(n, v, e)| {
+            format!("v3 = 0; while (v3 < {n}) {{ v{v} = {e}; v3 = v3 + 1; }}")
+        }),
+    ];
+    proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
+        format!(
+            "arr a @ 0x10000;\nfn main() {{\nlet v0 = 1;\nlet v1 = 2;\nlet v2 = 3;\nlet v3 = 0;\n{}\n}}\n",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Both annotation flavours validate structurally, and the static
+    /// (dataflow-closed) sets are supersets of the control-only sets.
+    #[test]
+    fn static_flavour_is_a_superset_of_control_only(source in arb_source()) {
+        let base = levioso::compiler::levi::compile_unannotated("prop", &source)
+            .expect("generated programs compile");
+
+        let mut ctrl = base.clone();
+        annotate_with(&mut ctrl, &AnnotateConfig { static_dataflow: false });
+        ctrl.validate().expect("control-only annotations validate");
+
+        let mut full = base.clone();
+        annotate_with(&mut full, &AnnotateConfig { static_dataflow: true });
+        full.validate().expect("static annotations validate");
+
+        let ca = ctrl.annotations.as_ref().unwrap();
+        let fa = full.annotations.as_ref().unwrap();
+        for i in 0..base.len() {
+            match (ca.deps_of(i), fa.deps_of(i)) {
+                (DepSet::Exact(c), DepSet::Exact(f)) => {
+                    for d in c {
+                        prop_assert!(
+                            f.binary_search(d).is_ok(),
+                            "instr {i}: control dep {d} missing from static set {f:?}\n{source}"
+                        );
+                    }
+                }
+                (DepSet::AllOlder, DepSet::AllOlder) => {}
+                (c, f) => prop_assert!(
+                    false,
+                    "instr {i}: flavours disagree on conservatism: {c:?} vs {f:?}"
+                ),
+            }
+        }
+    }
+
+    /// Exact dependency sets only ever reference *older* conditional
+    /// branches in straight-line-ordered programs? No — branches may be
+    /// younger in program order (loop back-edges). What must hold: every
+    /// dep is a conditional branch, and capping monotonically coarsens.
+    #[test]
+    fn capping_never_invents_precision(source in arb_source()) {
+        let mut p = levioso::compiler::levi::compile_unannotated("prop", &source)
+            .expect("compiles");
+        annotate_with(&mut p, &AnnotateConfig { static_dataflow: true });
+        let a = p.annotations.as_ref().unwrap();
+        for cap in [0usize, 1, 2, 4] {
+            let capped = a.capped(cap);
+            for i in 0..p.len() {
+                match (a.deps_of(i), capped.deps_of(i)) {
+                    (DepSet::Exact(orig), DepSet::Exact(kept)) => {
+                        prop_assert!(orig.len() <= cap || orig == kept && orig.len() <= cap,
+                            "sets larger than the cap must coarsen");
+                        prop_assert_eq!(orig, kept);
+                    }
+                    (_, DepSet::AllOlder) => {} // coarsened or already conservative
+                    (DepSet::AllOlder, DepSet::Exact(_)) => {
+                        prop_assert!(false, "capping must never refine AllOlder");
+                    }
+                }
+            }
+            prop_assert!(capped.cost().all_older >= a.cost().all_older);
+        }
+    }
+
+    /// Real program annotations survive the binary sidecar round trip
+    /// (after the documented 14-dependency capping).
+    #[test]
+    fn sidecar_round_trips_for_real_programs(source in arb_source()) {
+        let mut p = levioso::compiler::levi::compile_unannotated("prop", &source)
+            .expect("compiles");
+        annotate_with(&mut p, &AnnotateConfig { static_dataflow: true });
+        let capped = p.annotations.as_ref().unwrap().capped(14);
+        let bytes = capped.to_bytes();
+        let back = levioso::isa::Annotations::from_bytes(p.len(), &bytes)
+            .expect("sidecar decodes");
+        prop_assert_eq!(back, capped);
+    }
+
+    /// Every exact dependency references a conditional branch, the entry
+    /// instruction is dependency-free (it executes unconditionally exactly
+    /// once), and all dependency sets are sorted and duplicate-free.
+    ///
+    /// (Note what is deliberately *not* asserted: instructions preceding
+    /// the first branch in index order may still carry dependencies —
+    /// loop-header condition code sits before its own back-edge branch.)
+    #[test]
+    fn deps_reference_branches_only(source in arb_source()) {
+        let mut p = levioso::compiler::levi::compile_unannotated("prop", &source)
+            .expect("compiles");
+        annotate_with(&mut p, &AnnotateConfig::default());
+        let a = p.annotations.as_ref().unwrap();
+        for (i, set) in a.iter() {
+            if let DepSet::Exact(v) = set {
+                for &d in v {
+                    prop_assert!(p.instrs[d as usize].is_branch());
+                }
+                prop_assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+                if i == 0 {
+                    prop_assert!(v.is_empty(), "entry instruction has no dependencies");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration through the `levioso` facade.
+
+use levioso::core::{run_scheme, Scheme};
+use levioso::uarch::CoreConfig;
+use levioso::workloads::{suite, Scale};
+
+#[test]
+fn facade_pipeline_end_to_end() {
+    // Source → compiler (annotations) → simulator → stats, all through the
+    // re-exported paths.
+    let program = levioso::compiler::levi::compile(
+        "facade",
+        r"
+        arr a @ 0x10000;
+        fn main() {
+            let i = 0;
+            while (i < 32) {
+                a[i] = i * i;
+                i = i + 1;
+            }
+        }
+        ",
+    )
+    .expect("compiles");
+    let stats = run_scheme(&program, Scheme::Levioso, &CoreConfig::default(), |_| {})
+        .expect("runs");
+    assert!(stats.committed > 32 * 5);
+    assert!(stats.ipc() > 0.5);
+}
+
+#[test]
+fn constant_time_kernel_has_data_independent_timing() {
+    // ct_mix is branchless with data-independent addresses, so its cycle
+    // count must not depend on the *values* processed — under every scheme.
+    // (This is the "constant-time programs stay constant-time" face of the
+    // comprehensive guarantee.)
+    let w = suite(Scale::Smoke).into_iter().find(|w| w.name == "ct_mix").expect("kernel");
+    for scheme in [Scheme::Unsafe, Scheme::Levioso, Scheme::ExecuteDelay, Scheme::Stt] {
+        let run = |bias: i64| {
+            let mut program = w.program.clone();
+            scheme.prepare(&mut program);
+            let mut sim = levioso::uarch::Simulator::new(&program, CoreConfig::default());
+            for &(a, v) in &w.memory {
+                sim.mem.write_i64(a, v ^ bias); // different data, same addresses
+            }
+            sim.run(scheme.policy().as_ref()).expect("runs").cycles
+        };
+        assert_eq!(
+            run(0),
+            run(0x0f0f_0f0f),
+            "{scheme}: ct_mix timing must be independent of processed values"
+        );
+    }
+}
+
+#[test]
+fn defenses_never_accelerate() {
+    for w in suite(Scale::Smoke).into_iter().take(4) {
+        let base = {
+            let mut p = w.program.clone();
+            Scheme::Unsafe.prepare(&mut p);
+            let mut sim = levioso::uarch::Simulator::new(&p, CoreConfig::default());
+            w.apply_memory(&mut sim);
+            sim.run(Scheme::Unsafe.policy().as_ref()).unwrap().cycles
+        };
+        for scheme in Scheme::ALL {
+            let mut p = w.program.clone();
+            scheme.prepare(&mut p);
+            let mut sim = levioso::uarch::Simulator::new(&p, CoreConfig::default());
+            w.apply_memory(&mut sim);
+            let cycles = sim.run(scheme.policy().as_ref()).unwrap().cycles;
+            // Gating can only remove speculative work; allow a tiny margin
+            // for second-order predictor interactions.
+            assert!(
+                cycles as f64 >= base as f64 * 0.98,
+                "{}: {scheme} ran faster than unsafe ({cycles} vs {base})",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn annotation_cap_trades_precision_for_overhead_soundly() {
+    // Extension experiment: capping the hint budget coarsens annotations;
+    // performance may degrade toward the conservative baseline but results
+    // stay correct.
+    let w = suite(Scale::Smoke)
+        .into_iter()
+        .find(|w| w.name == "hash_join")
+        .expect("kernel");
+    let expected = w.expected_checksum();
+    let mut program = w.program.clone();
+    Scheme::Levioso.prepare(&mut program);
+    let full = program.annotations.clone().expect("annotated");
+    let mut cycles_by_cap = Vec::new();
+    for cap in [0usize, 1, 2, 8] {
+        let mut p = program.clone();
+        p.annotations = Some(full.capped(cap));
+        let mut sim = levioso::uarch::Simulator::new(&p, CoreConfig::default());
+        w.apply_memory(&mut sim);
+        let stats = sim.run(Scheme::Levioso.policy().as_ref()).unwrap();
+        assert_eq!(sim.mem.read_i64(w.checksum_addr), expected, "cap {cap} broke results");
+        cycles_by_cap.push(stats.cycles);
+    }
+    // cap 0 (everything AllOlder) must cost at least as much as cap 8.
+    assert!(
+        cycles_by_cap[0] >= cycles_by_cap[3],
+        "tighter caps cannot be faster: {cycles_by_cap:?}"
+    );
+}
