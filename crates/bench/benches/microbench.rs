@@ -1,21 +1,24 @@
-//! Criterion microbenchmarks: simulator throughput per scheme (the F2
-//! kernel), the annotation pass, and the hot substrate components.
+//! Microbenchmarks on the in-tree `levioso-support` wall-clock runner:
+//! simulator throughput per scheme (the F2 kernel), the annotation pass,
+//! and the hot substrate components.
 //!
 //! These measure *host* wall-time of the tools themselves; the paper's
-//! figures (simulated cycles) come from the `fig*` binaries.
+//! figures (simulated cycles) come from the `fig*` binaries. Under
+//! `cargo bench` each benchmark is sampled with warmup; under `cargo test`
+//! every body runs once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use levioso_core::Scheme;
+use levioso_support::bench::{BatchSize, Bench};
 use levioso_uarch::{CoreConfig, Simulator};
 use levioso_workloads::{suite, Scale};
 use std::hint::black_box;
 
-fn scheme_throughput(c: &mut Criterion) {
+fn scheme_throughput(c: &mut Bench) {
     let workload = suite(Scale::Smoke)
         .into_iter()
         .find(|w| w.name == "filter_scan")
         .expect("kernel exists");
-    let mut group = c.benchmark_group("simulate_filter_scan");
+    let mut group = c.group("simulate_filter_scan");
     group.sample_size(10);
     for scheme in Scheme::HEADLINE {
         let mut program = workload.program.clone();
@@ -37,9 +40,9 @@ fn scheme_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-fn annotation_pass(c: &mut Criterion) {
+fn annotation_pass(c: &mut Bench) {
     let workloads = suite(Scale::Smoke);
-    let mut group = c.benchmark_group("annotate");
+    let mut group = c.group("annotate");
     group.sample_size(20);
     for w in workloads.into_iter().take(3) {
         group.bench_function(w.name, |b| {
@@ -56,7 +59,7 @@ fn annotation_pass(c: &mut Criterion) {
     group.finish();
 }
 
-fn cache_hierarchy(c: &mut Criterion) {
+fn cache_hierarchy(c: &mut Bench) {
     use levioso_uarch::{Hierarchy, HierarchyConfig};
     c.bench_function("hierarchy_access_stream", |b| {
         let mut h = Hierarchy::new(&HierarchyConfig::default());
@@ -72,7 +75,7 @@ fn cache_hierarchy(c: &mut Criterion) {
     });
 }
 
-fn interpreter_throughput(c: &mut Criterion) {
+fn interpreter_throughput(c: &mut Bench) {
     let workload = suite(Scale::Smoke)
         .into_iter()
         .find(|w| w.name == "crc32")
@@ -95,7 +98,7 @@ fn interpreter_throughput(c: &mut Criterion) {
     });
 }
 
-fn dominator_analysis(c: &mut Criterion) {
+fn dominator_analysis(c: &mut Bench) {
     // A branchy program with many blocks exercises the CFG + postdominator
     // + control-dependence pipeline.
     let source: String = {
@@ -113,12 +116,12 @@ fn dominator_analysis(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    scheme_throughput,
-    annotation_pass,
-    cache_hierarchy,
-    interpreter_throughput,
-    dominator_analysis
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    scheme_throughput(&mut bench);
+    annotation_pass(&mut bench);
+    cache_hierarchy(&mut bench);
+    interpreter_throughput(&mut bench);
+    dominator_analysis(&mut bench);
+    bench.finish();
+}

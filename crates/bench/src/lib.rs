@@ -2,7 +2,7 @@
 //!
 //! One function per experiment of the evaluation (see DESIGN.md §4 for the
 //! reconstructed index), shared between the `fig*`/`table*` binaries and
-//! the criterion microbenchmarks:
+//! the `levioso-support` wall-clock microbenchmarks (`benches/microbench.rs`):
 //!
 //! | id | function | binary |
 //! |----|----------|--------|

@@ -359,7 +359,7 @@ pub fn generate(name: &str, ast: &LeviProgram) -> Result<Program, LeviError> {
     // stack.
     for (idx, (fname, body)) in ast.functions.iter().enumerate() {
         let slot = RA_SAVE_BASE + 8 * idx as i64;
-        cg.b.label(&format!(".fn_{fname}"));
+        cg.b.label(format!(".fn_{fname}"));
         cg.b.sd(levioso_isa::reg::RA, levioso_isa::reg::ZERO, slot);
         for s in body {
             cg.stmt(s)?;

@@ -7,10 +7,8 @@
 //! it lives in the ISA crate because it is part of the program image the
 //! hardware consumes, exactly like the paper's ISA hint encoding.
 
-use serde::{Deserialize, Serialize};
-
 /// The set of static branches one instruction truly depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DepSet {
     /// Exact dependency set: instruction indices of conditional branches and
     /// indirect jumps, each strictly less than `u32::MAX`, sorted ascending.
@@ -66,7 +64,7 @@ impl Default for DepSet {
 ///
 /// `sets[i]` is the dependency set of instruction `i`. Produced by
 /// `levioso_compiler::annotate`; consumed by the Levioso hardware policy.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Annotations {
     sets: Vec<DepSet>,
 }
@@ -298,7 +296,7 @@ impl Annotations {
 }
 
 /// Aggregate annotation-size statistics (experiment T3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnnotationCost {
     /// Number of annotated static instructions.
     pub instructions: usize,

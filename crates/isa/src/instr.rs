@@ -17,7 +17,7 @@ use crate::Reg;
 use std::fmt;
 
 /// ALU operation for register-register and register-immediate forms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -112,7 +112,7 @@ impl AluOp {
 }
 
 /// Branch comparison condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchCond {
     /// Branch if equal.
     Eq,
@@ -155,7 +155,7 @@ impl BranchCond {
 }
 
 /// Memory access width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemWidth {
     /// 1 byte.
     B,
@@ -192,7 +192,7 @@ impl MemWidth {
 ///
 /// Instruction indices (`target` fields) address the program's instruction
 /// vector directly; there is no byte-granular code space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // field names (rd/rs1/rs2/imm/base/offset/…) follow RISC conventions
 pub enum Instr {
     /// Register-register ALU operation: `rd = op(rs1, rs2)`.

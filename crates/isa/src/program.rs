@@ -8,7 +8,7 @@ use std::fmt;
 /// (after compilation) Levioso branch-dependency [`Annotations`].
 ///
 /// The entry point is always instruction index 0.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// Program name, used in reports.
     pub name: String,

@@ -1,158 +1,182 @@
-//! Property-based tests for the lev64 ISA crate.
+//! Property-based tests for the lev64 ISA crate, on the in-tree
+//! `levioso-support` harness (seeded, 64+ cases per property, failing
+//! inputs reported via `g.note`).
 
 use levioso_isa::{
     assemble, decode, encode, AluOp, BranchCond, Instr, Machine, MemWidth, Memory, Program, Reg,
 };
-use proptest::prelude::*;
+use levioso_support::{Gen, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const ALU_OPS: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Div,
+    AluOp::Rem,
+];
+
+const WIDTHS: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+
+const BRANCH_CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+fn arb_reg(g: &mut Gen) -> Reg {
+    Reg::new(g.u8_in(0..32))
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Mul),
-        Just(AluOp::Mulh),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-    ]
+fn arb_alu_op(g: &mut Gen) -> AluOp {
+    *g.pick(&ALU_OPS)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let imm = -(1i64 << 39)..(1i64 << 39);
-    prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (arb_alu_op(), arb_reg(), arb_reg(), imm.clone())
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)],
-            any::<bool>(),
-            arb_reg(),
-            arb_reg(),
-            imm.clone()
-        )
-            .prop_map(|(width, signed, rd, base, offset)| Instr::Load {
-                width,
-                signed,
-                rd,
-                base,
-                offset
-            }),
-        (
-            prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)],
-            arb_reg(),
-            arb_reg(),
-            imm.clone()
-        )
-            .prop_map(|(width, src, base, offset)| Instr::Store { width, src, base, offset }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge),
-                Just(BranchCond::Ltu),
-                Just(BranchCond::Geu)
-            ],
-            arb_reg(),
-            arb_reg(),
-            any::<u32>()
-        )
-            .prop_map(|(cond, rs1, rs2, target)| Instr::Branch { cond, rs1, rs2, target }),
-        (arb_reg(), any::<u32>()).prop_map(|(rd, target)| Instr::Jal { rd, target }),
-        (arb_reg(), arb_reg(), imm.clone())
-            .prop_map(|(rd, base, offset)| Instr::Jalr { rd, base, offset }),
-        arb_reg().prop_map(|rd| Instr::RdCycle { rd }),
-        (arb_reg(), imm).prop_map(|(base, offset)| Instr::Flush { base, offset }),
-        Just(Instr::Fence),
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-    ]
+/// 40-bit signed immediates: the encodable range.
+fn arb_imm(g: &mut Gen) -> i64 {
+    g.i64_in(-(1i64 << 39)..(1i64 << 39))
 }
 
-proptest! {
+fn arb_instr(g: &mut Gen) -> Instr {
+    match g.usize_in(0..12) {
+        0 => Instr::Alu { op: arb_alu_op(g), rd: arb_reg(g), rs1: arb_reg(g), rs2: arb_reg(g) },
+        1 => Instr::AluImm { op: arb_alu_op(g), rd: arb_reg(g), rs1: arb_reg(g), imm: arb_imm(g) },
+        2 => Instr::Load {
+            width: *g.pick(&WIDTHS),
+            signed: g.bool_any(),
+            rd: arb_reg(g),
+            base: arb_reg(g),
+            offset: arb_imm(g),
+        },
+        3 => Instr::Store {
+            width: *g.pick(&WIDTHS),
+            src: arb_reg(g),
+            base: arb_reg(g),
+            offset: arb_imm(g),
+        },
+        4 => Instr::Branch {
+            cond: *g.pick(&BRANCH_CONDS),
+            rs1: arb_reg(g),
+            rs2: arb_reg(g),
+            target: g.u32_any(),
+        },
+        5 => Instr::Jal { rd: arb_reg(g), target: g.u32_any() },
+        6 => Instr::Jalr { rd: arb_reg(g), base: arb_reg(g), offset: arb_imm(g) },
+        7 => Instr::RdCycle { rd: arb_reg(g) },
+        8 => Instr::Flush { base: arb_reg(g), offset: arb_imm(g) },
+        9 => Instr::Fence,
+        10 => Instr::Nop,
+        _ => Instr::Halt,
+    }
+}
+
+levioso_support::props! {
+    cases = 256;
+
     /// Every instruction round-trips through the 64-bit binary encoding.
-    #[test]
-    fn binary_encoding_round_trips(instr in arb_instr()) {
+    fn binary_encoding_round_trips(g) {
+        let instr = arb_instr(g);
+        g.note("instr", &instr);
         let word = encode(&instr).expect("in-range immediates encode");
-        prop_assert_eq!(decode(word), Ok(instr));
+        assert_eq!(decode(word), Ok(instr));
     }
 
     /// Decoding arbitrary words either fails cleanly or yields an
     /// instruction that re-encodes to a decodable word (no panics, no
     /// garbage states).
-    #[test]
-    fn decoding_is_total(word in any::<u64>()) {
+    fn decoding_is_total(g) {
+        let word = g.u64_any();
+        g.note("word", &word);
         if let Ok(i) = decode(word) {
             let re = encode(&i).expect("decoded instructions re-encode");
-            prop_assert_eq!(decode(re), Ok(i));
+            assert_eq!(decode(re), Ok(i));
         }
     }
 
     /// ALU evaluation never panics and matches an independent
     /// recomputation for the easily-specified operations.
-    #[test]
-    fn alu_eval_total(op in arb_alu_op(), a in any::<i64>(), b in any::<i64>()) {
+    fn alu_eval_total(g) {
+        let op = arb_alu_op(g);
+        let a = g.i64_any();
+        let b = g.i64_any();
+        g.note("op", &op);
+        g.note("a", &a);
+        g.note("b", &b);
         let v = op.eval(a, b);
         match op {
-            AluOp::And => prop_assert_eq!(v, a & b),
-            AluOp::Or => prop_assert_eq!(v, a | b),
-            AluOp::Xor => prop_assert_eq!(v, a ^ b),
-            AluOp::Add => prop_assert_eq!(v, a.wrapping_add(b)),
-            AluOp::Sub => prop_assert_eq!(v, a.wrapping_sub(b)),
-            AluOp::Slt => prop_assert_eq!(v, i64::from(a < b)),
-            AluOp::Sltu => prop_assert_eq!(v, i64::from((a as u64) < (b as u64))),
+            AluOp::And => assert_eq!(v, a & b),
+            AluOp::Or => assert_eq!(v, a | b),
+            AluOp::Xor => assert_eq!(v, a ^ b),
+            AluOp::Add => assert_eq!(v, a.wrapping_add(b)),
+            AluOp::Sub => assert_eq!(v, a.wrapping_sub(b)),
+            AluOp::Slt => assert_eq!(v, i64::from(a < b)),
+            AluOp::Sltu => assert_eq!(v, i64::from((a as u64) < (b as u64))),
             _ => {}
         }
     }
 
     /// Branch conditions are each other's complements.
-    #[test]
-    fn branch_complements(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
-        prop_assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
-        prop_assert_ne!(BranchCond::Ltu.eval(a, b), BranchCond::Geu.eval(a, b));
+    fn branch_complements(g) {
+        let a = g.i64_any();
+        let b = g.i64_any();
+        g.note("a", &a);
+        g.note("b", &b);
+        assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
+        assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
+        assert_ne!(BranchCond::Ltu.eval(a, b), BranchCond::Geu.eval(a, b));
     }
 
     /// Memory writes read back exactly, byte-for-byte, across page
     /// boundaries.
-    #[test]
-    fn memory_round_trip(addr in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn memory_round_trip(g) {
+        let addr = g.u64_any();
+        let len = g.usize_in(0..64);
+        let data: Vec<u8> = (0..len).map(|_| g.u8_any()).collect();
+        g.note("addr", &addr);
+        g.note("data", &data);
         let mut m = Memory::new();
         m.write_slice(addr, &data);
-        prop_assert_eq!(m.read_vec(addr, data.len()), data);
+        assert_eq!(m.read_vec(addr, data.len()), data);
     }
 
     /// Straight-line ALU programs round-trip through assembly text.
-    #[test]
-    fn asm_round_trip(
-        ops in proptest::collection::vec((arb_alu_op(), arb_reg(), arb_reg(), arb_reg()), 1..20)
-    ) {
-        let mut instrs: Vec<Instr> = ops
-            .into_iter()
-            .map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 })
+    fn asm_round_trip(g) {
+        let count = g.usize_in(1..20);
+        let mut instrs: Vec<Instr> = (0..count)
+            .map(|_| Instr::Alu {
+                op: arb_alu_op(g),
+                rd: arb_reg(g),
+                rs1: arb_reg(g),
+                rs2: arb_reg(g),
+            })
             .collect();
         instrs.push(Instr::Halt);
         let p1 = Program::new("t", instrs);
+        g.note("program", &p1.instrs);
         let p2 = assemble("t", &p1.to_asm_string()).unwrap();
-        prop_assert_eq!(p1.instrs, p2.instrs);
+        assert_eq!(p1.instrs, p2.instrs);
     }
 
     /// The interpreter computes the same ALU result as direct evaluation.
-    #[test]
-    fn interp_matches_eval(op in arb_alu_op(), a in any::<i64>(), b in any::<i64>()) {
+    fn interp_matches_eval(g) {
         use levioso_isa::reg::{A0, A1, A2};
+        let op = arb_alu_op(g);
+        let a = g.i64_any();
+        let b = g.i64_any();
+        g.note("op", &op);
+        g.note("a", &a);
+        g.note("b", &b);
         let p = Program::new(
             "t",
             vec![
@@ -164,15 +188,18 @@ proptest! {
         m.set_reg(A0, a);
         m.set_reg(A1, b);
         m.run(&p, 10).unwrap();
-        prop_assert_eq!(m.reg(A2), op.eval(a, b));
+        assert_eq!(m.reg(A2), op.eval(a, b));
     }
 
     /// Loads sign/zero-extend consistently with the store that produced the
     /// bytes.
-    #[test]
-    fn load_extension_consistent(value in any::<i64>(), signed in any::<bool>()) {
+    fn load_extension_consistent(g) {
         use levioso_isa::reg::{A0, A1, T0};
-        for width in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+        let value = g.i64_any();
+        let signed = g.bool_any();
+        g.note("value", &value);
+        g.note("signed", &signed);
+        for width in WIDTHS {
             let p = Program::new(
                 "t",
                 vec![
@@ -193,7 +220,7 @@ proptest! {
             } else {
                 value & ((1i64 << bits) - 1)
             };
-            prop_assert_eq!(m.reg(T0), expected, "width {:?} signed {}", width, signed);
+            assert_eq!(m.reg(T0), expected, "width {width:?} signed {signed}");
         }
     }
 }

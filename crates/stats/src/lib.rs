@@ -7,7 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use serde::{Deserialize, Serialize};
+use levioso_support::{Json, JsonError};
 use std::fmt;
 
 /// Geometric mean of strictly positive values.
@@ -48,7 +48,7 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// An aligned text table with a title, rendered for terminal reports and
 /// EXPERIMENTS.md.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title (e.g. `"T1: simulated core configuration"`).
     pub title: String,
@@ -149,7 +149,7 @@ impl fmt::Display for Table {
 
 /// One named series of `(x-label, y)` points — a bar group or line in a
 /// figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series name (e.g. a scheme).
     pub name: String,
@@ -159,7 +159,7 @@ pub struct Series {
 
 /// A figure: several series over a shared x axis, rendered as a table plus
 /// a crude text bar chart (enough to eyeball shapes in a terminal).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Figure title (e.g. `"F2: overhead vs unsafe baseline"`).
     pub title: String,
@@ -205,7 +205,69 @@ impl Figure {
 
     /// Serializes the figure to pretty JSON (for external plotting).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::str(&s.name)),
+                    (
+                        "points",
+                        Json::Arr(
+                            s.points
+                                .iter()
+                                .map(|(x, y)| Json::Arr(vec![Json::str(x), Json::F64(*y)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            ("y_label", Json::str(&self.y_label)),
+            ("series", Json::Arr(series)),
+        ])
+        .emit_pretty()
+    }
+
+    /// Parses a figure back from [`Figure::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Figure, JsonError> {
+        let bad = |message: &str| JsonError { pos: 0, message: message.to_string() };
+        let v = Json::parse(text)?;
+        let field_str = |key: &str| -> Result<String, JsonError> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(&format!("missing string field `{key}`")))?
+                .to_string())
+        };
+        let mut figure = Figure::new(field_str("title")?, field_str("y_label")?);
+        let series = v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing array field `series`"))?;
+        for s in series {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("series missing `name`"))?;
+            let mut points = Vec::new();
+            for point in
+                s.get("points").and_then(Json::as_arr).ok_or_else(|| bad("series missing `points`"))?
+            {
+                let pair = point.as_arr().filter(|p| p.len() == 2);
+                let (x, y) = match pair {
+                    Some([x, y]) => (x.as_str(), y.as_f64()),
+                    _ => (None, None),
+                };
+                match (x, y) {
+                    (Some(x), Some(y)) => points.push((x.to_string(), y)),
+                    _ => return Err(bad("point is not an [x-label, y] pair")),
+                }
+            }
+            figure.push_series(name, points);
+        }
+        Ok(figure)
     }
 }
 
@@ -271,9 +333,18 @@ mod tests {
     fn figure_round_trips_through_json() {
         let mut f = Figure::new("F2", "slowdown");
         f.push_series("levioso", vec![("w1".into(), 1.2), ("w2".into(), 1.1)]);
+        f.push_series("esc \"quoted\"", vec![("w1".into(), -0.5)]);
         let j = f.to_json();
-        let back: Figure = serde_json::from_str(&j).unwrap();
+        let back = Figure::from_json(&j).unwrap();
         assert_eq!(back, f);
         assert!(f.render().contains("levioso"));
+    }
+
+    #[test]
+    fn figure_from_json_rejects_malformed_documents() {
+        assert!(Figure::from_json("[]").is_err());
+        assert!(Figure::from_json("{\"title\": \"t\"}").is_err());
+        let e = Figure::from_json("{oops").unwrap_err();
+        assert!(e.to_string().contains("JSON error"));
     }
 }

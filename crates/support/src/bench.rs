@@ -1,0 +1,260 @@
+//! A criterion-free wall-clock benchmark runner.
+//!
+//! Mirrors the small slice of the criterion surface the workspace uses —
+//! groups, `bench_function`, `iter`, `iter_batched`, per-group sample
+//! sizes — measured with `std::time::Instant` and reported as a
+//! min/median/mean table.
+//!
+//! Cargo invokes bench targets (`harness = false`) in two modes:
+//!
+//! * `cargo bench` passes `--bench`: full sampling with warmup;
+//! * `cargo test` runs the target too (and passes `--test` on newer
+//!   cargos): every benchmark body executes **once**, as a smoke test,
+//!   so `cargo test -q` stays fast while still compiling and exercising
+//!   every benchmark.
+//!
+//! ```no_run
+//! use levioso_support::bench::Bench;
+//!
+//! let mut bench = Bench::from_args();
+//! let mut group = bench.group("demo");
+//! group.bench_function("noop", |b| b.iter(|| 2 + 2));
+//! group.finish();
+//! bench.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup, mirroring criterion's enum. The
+/// runner times each routine invocation individually, so the variants
+/// only document intent; all behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup is cheap relative to the routine.
+    SmallInput,
+    /// Large inputs: setup allocates significantly.
+    LargeInput,
+    /// One setup per iteration, always.
+    PerIteration,
+}
+
+/// Execution mode, decided by the command line cargo passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full sampling (under `cargo bench`).
+    Bench,
+    /// One shot per benchmark (under `cargo test`).
+    Smoke,
+}
+
+/// The top-level runner: owns the mode and the accumulated report.
+#[derive(Debug)]
+pub struct Bench {
+    mode: Mode,
+    results: Vec<(String, Stats)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+impl Bench {
+    /// Builds the runner from the process arguments: full sampling only
+    /// when cargo passed `--bench`, smoke mode otherwise (as under
+    /// `cargo test`).
+    pub fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--bench");
+        Bench { mode: if full { Mode::Bench } else { Mode::Smoke }, results: Vec::new() }
+    }
+
+    /// Forces full sampling regardless of arguments.
+    pub fn full() -> Self {
+        Bench { mode: Mode::Bench, results: Vec::new() }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group { bench: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.group("");
+        group.bench_function(name, f);
+        group.finish();
+    }
+
+    /// Prints the report table.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            println!("no benchmarks ran");
+            return;
+        }
+        let label = match self.mode {
+            Mode::Bench => "wall-clock per iteration",
+            Mode::Smoke => "smoke run (1 shot; use `cargo bench` to measure)",
+        };
+        println!("\n## microbenchmarks — {label}\n");
+        let width = self.results.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        println!(
+            "{:width$}  {:>12}  {:>12}  {:>12}  {:>7}",
+            "benchmark", "min", "median", "mean", "samples"
+        );
+        for (name, s) in &self.results {
+            println!(
+                "{:width$}  {:>12}  {:>12}  {:>12}  {:>7}",
+                name,
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                s.samples
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let samples = match self.bench.mode {
+            Mode::Bench => self.sample_size,
+            Mode::Smoke => 1,
+        };
+        let mut b = Bencher { samples, warmup: self.bench.mode == Mode::Bench, timings: Vec::new() };
+        f(&mut b);
+        let full_name = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        assert!(
+            !b.timings.is_empty(),
+            "benchmark `{full_name}` never called iter()/iter_batched()"
+        );
+        self.bench.results.push((full_name, summarize(&mut b.timings)));
+    }
+
+    /// Closes the group (report printing happens in [`Bench::finish`]).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample (plus one untimed warmup call in
+    /// full mode).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` on a fresh `setup()` product per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        if self.warmup {
+            let input = setup();
+            let _ = routine(input);
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn summarize(timings: &mut [Duration]) -> Stats {
+    timings.sort_unstable();
+    let n = timings.len();
+    let total: Duration = timings.iter().sum();
+    Stats {
+        min: timings[0],
+        median: timings[n / 2],
+        mean: total / n as u32,
+        samples: n,
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut bench = Bench { mode: Mode::Smoke, results: Vec::new() };
+        let mut calls = 0;
+        let mut group = bench.group("g");
+        group.sample_size(50).bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+        assert_eq!(bench.results.len(), 1);
+        assert_eq!(bench.results[0].0, "g/f");
+    }
+
+    #[test]
+    fn full_mode_collects_requested_samples() {
+        let mut bench = Bench::full();
+        let mut calls = 0;
+        let mut group = bench.group("g");
+        group.sample_size(5).bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 5 samples + 1 warmup.
+        assert_eq!(calls, 6);
+        assert_eq!(bench.results[0].1.samples, 5);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,266 @@
+//! A small deterministic property-testing harness.
+//!
+//! Replaces `proptest` for this workspace. A property is an ordinary
+//! closure that draws its input from a seeded generator ([`Gen`]) and
+//! asserts with the standard `assert!`/`assert_eq!` macros. The harness
+//! runs a fixed budget of cases, each from a seed derived deterministically
+//! from the configured root seed, and on the first failure re-panics with
+//! a report containing:
+//!
+//! * the property name and the failing case index,
+//! * the **case seed** (rerun just that input by passing it to
+//!   [`Config::with_seed`] with `cases = 1`),
+//! * every input the property recorded via [`Gen::note`],
+//! * the original assertion message.
+//!
+//! There is no shrinking: seeds make every failure exactly reproducible,
+//! and known-bad inputs graduate into named regression tests (see
+//! `tests/regressions.rs` at the workspace root) rather than sidecar
+//! files.
+//!
+//! The [`props!`](crate::props) macro gives the `proptest!`-like surface:
+//!
+//! ```
+//! use levioso_support::rng::Rng;
+//!
+//! levioso_support::props! {
+//!     cases = 64;
+//!
+//!     /// Addition commutes.
+//!     fn addition_commutes(g) {
+//!         let a = g.i64_any();
+//!         let b = g.i64_any();
+//!         g.note("a", &a);
+//!         g.note("b", &b);
+//!         assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+use crate::rng::{Rng, SplitMix64, Xoshiro256pp};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default case budget when `props!` is used without `cases = n`.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Root seed used unless overridden — arbitrary but fixed forever so runs
+/// are identical on every machine.
+pub const DEFAULT_SEED: u64 = 0x1e71_0501_ec10_5eed;
+
+/// Harness configuration: how many cases, from which root seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Root seed; case `i` runs from a SplitMix64-mixed combination of
+    /// this and `i`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `cases` random cases from the default root seed.
+    pub const fn new(cases: u32) -> Self {
+        Config { cases, seed: DEFAULT_SEED }
+    }
+
+    /// Overrides the root seed (pass a failing **case seed** with
+    /// `cases = 1` to replay exactly one input).
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The derived seed for case `index`. Case 0 uses the root seed
+    /// unmixed so that replaying a reported **case seed** through
+    /// `Config::new(1).with_seed(..)` regenerates exactly the failing
+    /// input; later cases mix in the index.
+    pub const fn case_seed(&self, index: u32) -> u64 {
+        if index == 0 {
+            self.seed
+        } else {
+            SplitMix64::mix(self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::new(DEFAULT_CASES)
+    }
+}
+
+/// The per-case input source: a seeded PRNG plus a log of noted inputs
+/// for the failure report.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Xoshiro256pp,
+    notes: Vec<(&'static str, String)>,
+}
+
+impl Gen {
+    /// A generator for one case.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { rng: Xoshiro256pp::seed_from_u64(seed), notes: Vec::new() }
+    }
+
+    /// Records a generated input so the harness can print it if this case
+    /// fails. Call it right after building each interesting input.
+    pub fn note(&mut self, name: &'static str, value: &dyn Debug) {
+        self.notes.push((name, format!("{value:#?}")));
+    }
+
+    /// An independent child generator (see [`Xoshiro256pp::split`]).
+    pub fn split(&mut self) -> Xoshiro256pp {
+        self.rng.split()
+    }
+}
+
+impl Rng for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Runs `property` for every case in `config`, panicking with a
+/// reproduction report on the first failure.
+pub fn run(name: &str, config: &Config, property: impl Fn(&mut Gen)) {
+    if let Err(report) = try_run(name, config, property) {
+        panic!("{report}");
+    }
+}
+
+/// Like [`run`], but returns the failure report instead of panicking —
+/// the hook the harness's own self-tests use.
+pub fn try_run(
+    name: &str,
+    config: &Config,
+    property: impl Fn(&mut Gen),
+) -> Result<(), String> {
+    for case in 0..config.cases {
+        let case_seed = config.case_seed(case);
+        let mut g = Gen::from_seed(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = outcome {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            let mut report = format!(
+                "property `{name}` failed at case {case}/{} (case seed {case_seed:#018x})\n\
+                 replay: Config::new(1).with_seed({case_seed:#018x})\n",
+                config.cases,
+            );
+            if g.notes.is_empty() {
+                report.push_str("no inputs were noted (add g.note(..) calls for richer reports)\n");
+            } else {
+                for (note_name, value) in &g.notes {
+                    report.push_str(&format!("input `{note_name}` = {value}\n"));
+                }
+            }
+            report.push_str(&format!("assertion: {message}"));
+            return Err(report);
+        }
+    }
+    Ok(())
+}
+
+/// `proptest!`-like surface over [`run`]: declares one `#[test]` per
+/// property. Each property receives `g: &mut Gen`; draw inputs from it
+/// (`use levioso_support::rng::Rng`), record them with `g.note(..)`, and
+/// assert normally.
+///
+/// ```ignore
+/// levioso_support::props! {
+///     cases = 64;
+///
+///     fn my_property(g) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    (
+        cases = $cases:expr ;
+        $( $(#[$meta:meta])* fn $name:ident ( $g:ident ) $body:block )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config = $crate::check::Config::new($cases);
+                $crate::check::run(stringify!($name), &config, |$g| $body);
+            }
+        )+
+    };
+    ( $( $(#[$meta:meta])* fn $name:ident ( $g:ident ) $body:block )+ ) => {
+        $crate::props! {
+            cases = $crate::check::DEFAULT_CASES ;
+            $( $(#[$meta])* fn $name($g) $body )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let config = Config::new(64);
+        // Interior mutability via Cell keeps the property Fn.
+        let counter = std::cell::Cell::new(0u32);
+        run("count", &config, |g| {
+            let _ = g.u64_any();
+            counter.set(counter.get() + 1);
+        });
+        seen += counter.get();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        let c = Config::new(8);
+        let seeds: Vec<u64> = (0..8).map(|i| c.case_seed(i)).collect();
+        assert_eq!(seeds, (0..8).map(|i| c.case_seed(i)).collect::<Vec<_>>());
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn failing_property_reports_its_input() {
+        let config = Config::new(64);
+        let report = try_run("always_false", &config, |g| {
+            let x = g.i64_in(10..20);
+            g.note("x", &x);
+            assert!(x >= 15, "x was {x}");
+        })
+        .expect_err("property is false for roughly half the inputs");
+        assert!(report.contains("property `always_false` failed"), "{report}");
+        assert!(report.contains("input `x` = 1"), "x in 10..15 is reported: {report}");
+        assert!(report.contains("case seed 0x"), "{report}");
+        assert!(report.contains("x was 1"), "original assertion message kept: {report}");
+    }
+
+    #[test]
+    fn replaying_a_case_seed_reproduces_the_input() {
+        let config = Config::new(16);
+        let failing_seed = std::cell::Cell::new(None);
+        let seed_of = |case: u32| config.case_seed(case);
+        for case in 0..config.cases {
+            let mut g = Gen::from_seed(seed_of(case));
+            let x = g.i64_in(0..100);
+            if x < 50 {
+                failing_seed.set(Some((seed_of(case), x)));
+                break;
+            }
+        }
+        let (seed, x) = failing_seed.get().expect("half the inputs qualify");
+        let mut replay = Gen::from_seed(seed);
+        assert_eq!(replay.i64_in(0..100), x);
+    }
+}

@@ -1,0 +1,31 @@
+//! # levioso-support — the hermetic-build substrate
+//!
+//! This workspace builds with **zero external crates** (the build
+//! environment has no registry access; see DESIGN.md, "Hermetic build
+//! policy"). Everything the repo previously pulled from crates.io lives
+//! here instead, implemented from scratch and sized to exactly what the
+//! workspace needs:
+//!
+//! | module | replaces | provides |
+//! |---|---|---|
+//! | [`rng`] | `rand` | SplitMix64 + xoshiro256++, seedable, stream-splittable |
+//! | [`json`] | `serde`/`serde_json` | a small JSON value type with emit + parse |
+//! | [`check`] | `proptest` | seeded generators, an iteration budget, failing-input reports |
+//! | [`bench`] | `criterion` | a wall-clock benchmark runner with a compatible surface |
+//!
+//! All randomness is deterministic: the same seed always reproduces the
+//! same stream, on every platform, so property tests and workload inputs
+//! are bit-stable across runs and machines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use bench::{Bench, BatchSize, Bencher};
+pub use check::{Config, Gen};
+pub use json::{Json, JsonError};
+pub use rng::{Rng, SplitMix64, Xoshiro256pp};

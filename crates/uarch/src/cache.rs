@@ -7,7 +7,6 @@
 //! from the simulator's functional memory).
 
 use crate::config::{CacheConfig, HierarchyConfig};
-use serde::{Deserialize, Serialize};
 
 /// One set-associative, true-LRU cache level (tags only).
 #[derive(Debug, Clone)]
@@ -28,7 +27,7 @@ struct Line {
 }
 
 /// Hit/miss counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -58,7 +57,10 @@ impl SetAssocCache {
     pub fn new(config: &CacheConfig) -> Self {
         assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
         let n_lines = config.size_bytes / config.line_bytes;
-        assert!(n_lines >= config.assoc && n_lines % config.assoc == 0, "bad cache geometry");
+        assert!(
+            n_lines >= config.assoc && n_lines.is_multiple_of(config.assoc),
+            "bad cache geometry"
+        );
         let n_sets = n_lines / config.assoc;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         SetAssocCache {

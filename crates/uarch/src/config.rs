@@ -1,13 +1,12 @@
 //! Core and memory-hierarchy configuration (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
 
 /// Out-of-order core configuration.
 ///
 /// The default mirrors the class of gem5 configuration the paper evaluates
 /// on: an aggressive 8-wide core with a 224-entry reorder buffer and a
 /// three-level memory hierarchy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,
@@ -149,7 +148,7 @@ impl Default for CoreConfig {
 }
 
 /// Branch predictor configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PredictorConfig {
     /// Bits of global history (gshare table has `2^bits` counters).
     pub gshare_history_bits: u32,
@@ -166,7 +165,7 @@ impl Default for PredictorConfig {
 }
 
 /// One cache level's parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -179,7 +178,7 @@ pub struct CacheConfig {
 }
 
 /// Cache hierarchy parameters (L1D + unified L2 + flat DRAM latency).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Level-1 data cache.
     pub l1d: CacheConfig,

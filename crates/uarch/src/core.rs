@@ -487,11 +487,11 @@ impl<'p> Simulator<'p> {
                         let taken = self.rob[self.rob_index(seq).expect("live")].result == Some(1);
                         self.predictor.update_history(taken);
                     }
-                    Instr::Jalr { rd, base, offset } => {
-                        // A mispredicted return still consumed its RAS entry.
-                        if rd.is_zero() && base == levioso_isa::reg::RA && offset == 0 {
-                            let _ = self.predictor.pop_return();
-                        }
+                    // A mispredicted return still consumed its RAS entry.
+                    Instr::Jalr { rd, base, offset }
+                        if rd.is_zero() && base == levioso_isa::reg::RA && offset == 0 =>
+                    {
+                        let _ = self.predictor.pop_return();
                     }
                     _ => {}
                 }
@@ -515,9 +515,8 @@ impl<'p> Simulator<'p> {
                 self.stats.transient_fills += 1;
             }
             self.unresolved.remove(&e.seq);
-            match e.stage {
-                Stage::Dispatched => self.iq_count -= 1,
-                _ => {}
+            if e.stage == Stage::Dispatched {
+                self.iq_count -= 1;
             }
             if e.instr.is_load() {
                 self.lq_count -= 1;
@@ -607,7 +606,7 @@ impl<'p> Simulator<'p> {
                 // Store address generation needs only the base operand.
                 let is_store = e.instr.is_store();
                 let base_ready = !is_store || e.srcs[0].state.value().is_some();
-                if !e.operands_ready() && !(is_store && base_ready) {
+                if !(e.operands_ready() || (is_store && base_ready)) {
                     continue;
                 }
 

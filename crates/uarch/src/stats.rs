@@ -1,10 +1,9 @@
 //! Simulation statistics.
 
 use crate::cache::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Counters collected over one simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

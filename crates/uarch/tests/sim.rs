@@ -262,8 +262,7 @@ fn missing_halt_is_an_error() {
 #[test]
 fn infinite_loop_hits_cycle_limit() {
     let p = assemble("t", "x: j x\nhalt").unwrap();
-    let mut config = CoreConfig::default();
-    config.max_cycles = 10_000;
+    let config = CoreConfig { max_cycles: 10_000, ..CoreConfig::default() };
     let mut sim = Simulator::new(&p, config);
     assert_eq!(
         sim.run(&UnsafeBaseline),
@@ -385,8 +384,7 @@ fn mshr_limit_bounds_memory_level_parallelism() {
     )
     .unwrap();
     let run = |mshrs: usize| {
-        let mut config = CoreConfig::default();
-        config.mshr_count = mshrs;
+        let config = CoreConfig { mshr_count: mshrs, ..CoreConfig::default() };
         let mut sim = Simulator::new(&p, config);
         sim.run(&UnsafeBaseline).unwrap();
         sim.reg(S4)

@@ -2,13 +2,14 @@
 //! stores over a tiny address pool (maximum forwarding/overlap pressure)
 //! plus forward-only branches (guaranteed termination), checked against the
 //! reference interpreter under several policies and a deliberately tiny
-//! core configuration.
+//! core configuration. Random cases come from the seeded
+//! `levioso-support` harness.
 
 use levioso_isa::reg::*;
 use levioso_isa::{AluOp, BranchCond, Instr, Machine, MemWidth, Program, Reg};
+use levioso_support::{Gen, Rng};
 use levioso_uarch::policy::{Gate, LoadMode, SpecView, SpeculationPolicy, UnsafeBaseline};
 use levioso_uarch::{CoreConfig, DynInstr, Simulator};
-use proptest::prelude::*;
 
 /// A conservative hardware-only policy implemented directly against the
 /// uarch crate (equivalent to levioso-core's ExecuteDelay; defined here so
@@ -50,17 +51,16 @@ impl SpeculationPolicy for HitOnlyWhileSpec {
 
 const POOL_BASE: i64 = 0x1000;
 
-fn small_reg() -> impl Strategy<Value = Reg> {
+fn small_reg(g: &mut Gen) -> Reg {
     // a0..a7 + t0..t2: plenty of WAW/RAW collisions.
-    prop_oneof![
-        (10u8..18).prop_map(Reg::new),
-        (5u8..8).prop_map(Reg::new),
-    ]
+    if g.bool_any() {
+        Reg::new(g.u8_in(10..18))
+    } else {
+        Reg::new(g.u8_in(5..8))
+    }
 }
 
-fn arb_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)]
-}
+const WIDTHS: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -71,34 +71,26 @@ enum Op {
     FwdBranch(BranchCond, Reg, Reg, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let alu = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Mul),
-        Just(AluOp::Sltu),
-        Just(AluOp::Sra),
+fn arb_op(g: &mut Gen) -> Op {
+    const ALU: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Mul,
+        AluOp::Sltu,
+        AluOp::Sra,
     ];
-    prop_oneof![
-        3 => (alu.clone(), small_reg(), small_reg(), small_reg())
-            .prop_map(|(op, a, b, c)| Op::Alu(op, a, b, c)),
-        2 => (alu, small_reg(), small_reg(), -64i64..64)
-            .prop_map(|(op, a, b, i)| Op::Imm(op, a, b, i)),
+    const BRANCH: [BranchCond; 3] = [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt];
+    match g.weighted(&[3, 2, 3, 3, 1]) {
+        0 => Op::Alu(*g.pick(&ALU), small_reg(g), small_reg(g), small_reg(g)),
+        1 => Op::Imm(*g.pick(&ALU), small_reg(g), small_reg(g), g.i64_in(-64..64)),
         // Loads/stores confined to a 48-byte window for maximal overlap.
-        3 => (arb_width(), any::<bool>(), small_reg(), 0i64..40)
-            .prop_map(|(w, s, r, off)| Op::Load(w, s, r, off)),
-        3 => (arb_width(), small_reg(), 0i64..40).prop_map(|(w, r, off)| Op::Store(w, r, off)),
-        1 => (
-            prop_oneof![Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt)],
-            small_reg(),
-            small_reg(),
-            1u8..6
-        )
-            .prop_map(|(c, a, b, skip)| Op::FwdBranch(c, a, b, skip)),
-    ]
+        2 => Op::Load(*g.pick(&WIDTHS), g.bool_any(), small_reg(g), g.i64_in(0..40)),
+        3 => Op::Store(*g.pick(&WIDTHS), small_reg(g), g.i64_in(0..40)),
+        _ => Op::FwdBranch(*g.pick(&BRANCH), small_reg(g), small_reg(g), g.u8_in(1..6)),
+    }
 }
 
 /// Lowers the op list into a halting program: `gp` holds the pool base,
@@ -152,18 +144,19 @@ fn run_sim(p: &Program, seed: i64, policy: &dyn SpeculationPolicy, config: &Core
     sim.arch_fingerprint()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+levioso_support::props! {
+    cases = 64;
 
     /// Random mixed-width memory traffic + forward branches: the simulator
     /// matches the interpreter under every policy and under a starved
     /// 1-wide, 16-entry configuration.
-    #[test]
-    fn lsq_stress_equivalence(
-        ops in proptest::collection::vec(arb_op(), 1..60),
-        seed in -1000i64..1000,
-    ) {
+    fn lsq_stress_equivalence(g) {
+        let count = g.usize_in(1..60);
+        let ops: Vec<Op> = (0..count).map(|_| arb_op(g)).collect();
+        let seed = g.i64_in(-1000..1000);
         let p = lower(&ops);
+        g.note("seed", &seed);
+        g.note("asm", &p.to_asm_string());
         let (golden, _) = run_reference(&p, seed);
 
         let default = CoreConfig::default();
@@ -178,9 +171,9 @@ proptest! {
         tiny.store_ports = 1;
 
         for config in [&default, &tiny] {
-            prop_assert_eq!(run_sim(&p, seed, &UnsafeBaseline, config), golden);
-            prop_assert_eq!(run_sim(&p, seed, &DelayTransmit, config), golden);
-            prop_assert_eq!(run_sim(&p, seed, &HitOnlyWhileSpec, config), golden);
+            assert_eq!(run_sim(&p, seed, &UnsafeBaseline, config), golden);
+            assert_eq!(run_sim(&p, seed, &DelayTransmit, config), golden);
+            assert_eq!(run_sim(&p, seed, &HitOnlyWhileSpec, config), golden);
         }
     }
 }

@@ -2,7 +2,7 @@
 //! stresses); the assembly kernels live in `kernels_asm`.
 
 use crate::{compile, rng_for, Scale, Workload, AUX1, AUX2, IN1, IN2, OUT};
-use rand::Rng;
+use levioso_support::Rng;
 
 /// Builds the full suite at the given scale, in stable report order.
 pub fn suite(scale: Scale) -> Vec<Workload> {
@@ -24,7 +24,7 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
 
 fn seeded_values(name: &str, n: usize, lo: i64, hi: i64) -> Vec<i64> {
     let mut rng = rng_for(name);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    (0..n).map(|_| rng.i64_in(lo..hi)).collect()
 }
 
 fn place(base: u64, values: &[i64]) -> impl Iterator<Item = (u64, i64)> + '_ {
@@ -126,7 +126,7 @@ fn pointer_chase(scale: Scale) -> Workload {
     let mut rng = rng_for("pointer_chase");
     let mut perm: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.usize_incl(0..=i);
         perm.swap(i, j);
     }
     let mut next = vec![0i64; n];
@@ -222,7 +222,7 @@ fn hash_join(scale: Scale) -> Workload {
     );
     // Build side: n/2 keys inserted with the same hash + linear probing.
     let mut rng = rng_for("hash_join");
-    let build: Vec<i64> = (0..n / 2).map(|_| rng.gen_range(1i64..1 << 30)).collect();
+    let build: Vec<i64> = (0..n / 2).map(|_| rng.i64_in(1i64..1 << 30)).collect();
     let mut ht_key = vec![0i64; hsize];
     let mut ht_val = vec![0i64; hsize];
     for &k in &build {
@@ -238,7 +238,7 @@ fn hash_join(scale: Scale) -> Workload {
     }
     // Probe side: half hits, half misses.
     let probe: Vec<i64> = (0..n)
-        .map(|i| if i % 2 == 0 { build[(i / 2) % build.len()] } else { rng.gen_range(1i64..1 << 30) })
+        .map(|i| if i % 2 == 0 { build[(i / 2) % build.len()] } else { rng.i64_in(1i64..1 << 30) })
         .collect();
     Workload {
         name: "hash_join",
@@ -354,8 +354,8 @@ fn string_search(scale: Scale) -> Workload {
         "
     );
     let mut rng = rng_for("string_search");
-    let pat: Vec<i64> = (0..plen).map(|_| rng.gen_range(0i64..4)).collect();
-    let mut text: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..4)).collect();
+    let pat: Vec<i64> = (0..plen).map(|_| rng.i64_in(0i64..4)).collect();
+    let mut text: Vec<i64> = (0..n).map(|_| rng.i64_in(0i64..4)).collect();
     // Plant a few guaranteed matches.
     for start in [n / 7, n / 3, n / 2, (4 * n) / 5] {
         text[start..start + plen].copy_from_slice(&pat);

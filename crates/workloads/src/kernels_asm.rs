@@ -17,7 +17,7 @@
 use crate::{rng_for, Scale, Workload, AUX1, IN1, IN2, OUT};
 use levioso_isa::reg::*;
 use levioso_isa::{AluOp, ProgramBuilder};
-use rand::Rng;
+use levioso_support::Rng;
 
 /// Filtered per-element processing through a real call/ret.
 pub fn guarded_call(scale: Scale) -> Workload {
@@ -60,8 +60,8 @@ pub fn guarded_call(scale: Scale) -> Workload {
 
     let mut rng = rng_for("guarded_call");
     let mut memory: Vec<(u64, i64)> =
-        (0..n as u64).map(|i| (IN1 + 8 * i, rng.gen_range(-100i64..101))).collect();
-    memory.extend((0..1024u64).map(|i| (AUX1 + 8 * i, rng.gen_range(0i64..4096))));
+        (0..n as u64).map(|i| (IN1 + 8 * i, rng.i64_in(-100i64..101))).collect();
+    memory.extend((0..1024u64).map(|i| (AUX1 + 8 * i, rng.i64_in(0i64..4096))));
     Workload {
         name: "guarded_call",
         description: "function call guarded by an unpredictable branch (interprocedural deps)",
@@ -129,9 +129,9 @@ pub fn bytecode_interp(scale: Scale) -> Workload {
         ["h_add", "h_xor", "h_load", "h_store", "h_mix"].map(|l| program.label(l).expect("label"));
     let mut rng = rng_for("bytecode_interp");
     let mut memory: Vec<(u64, i64)> =
-        (0..n as u64).map(|i| (IN1 + 8 * i, rng.gen_range(0i64..5))).collect();
+        (0..n as u64).map(|i| (IN1 + 8 * i, rng.i64_in(0i64..5))).collect();
     memory.extend(handlers.iter().enumerate().map(|(i, &h)| (IN2 + 8 * i as u64, h as i64)));
-    memory.extend((0..1024u64).map(|i| (AUX1 + 8 * i, rng.gen_range(0i64..1 << 20))));
+    memory.extend((0..1024u64).map(|i| (AUX1 + 8 * i, rng.i64_in(0i64..1 << 20))));
     Workload {
         name: "bytecode_interp",
         description: "jump-table bytecode interpreter (indirect-branch barriers)",

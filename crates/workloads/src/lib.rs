@@ -30,8 +30,7 @@
 
 use levioso_compiler::levi;
 use levioso_isa::{Machine, Program};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use levioso_support::Xoshiro256pp;
 
 /// Input array base address.
 pub const IN1: u64 = 0x10_0000;
@@ -109,13 +108,13 @@ fn compile(name: &'static str, source: &str) -> Program {
         .unwrap_or_else(|e| panic!("workload {name} failed to compile: {e}"))
 }
 
-fn rng_for(name: &str) -> SmallRng {
+fn rng_for(name: &str) -> Xoshiro256pp {
     // Stable per-kernel seed derived from the name.
     let mut seed: u64 = 0x5eed_1e55_0badu64;
     for b in name.bytes() {
         seed = seed.wrapping_mul(0x1000_0000_01b3).wrapping_add(b as u64);
     }
-    SmallRng::seed_from_u64(seed)
+    Xoshiro256pp::seed_from_u64(seed)
 }
 
 mod kernels;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate for the Levioso workspace.
+#
+# The workspace is hermetic by policy (see README.md "Hermetic build
+# policy"): every dependency is an in-tree path crate, so everything here
+# runs with --offline and must pass on a machine with no registry access.
+#
+#   1. tier-1 verify:   cargo build --release && cargo test -q
+#   2. offline proof:   full-workspace build of every target with the
+#                       network-facing resolver disabled
+#   3. lint gate:       clippy on all targets, warnings are errors
+#
+# Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> hermetic: full-workspace offline build, all targets"
+cargo build --offline --workspace --all-targets
+
+echo "==> full-workspace tests"
+cargo test -q --offline --workspace
+
+echo "==> clippy, warnings denied"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> OK: hermetic build, tests, and lints all green"

@@ -1,122 +1,99 @@
 //! The flagship property test: for *random* Levi programs, the out-of-order
 //! core commits exactly the architectural state the reference interpreter
-//! produces — under **every** secure-speculation scheme. Defenses restrict
-//! timing, never semantics.
+//! produces — under **every** secure-speculation scheme. Random programs
+//! come from the seeded `levioso-support` harness; the check body is shared
+//! with `tests/regressions.rs`.
 
-use levioso::compiler::levi;
-use levioso::core::Scheme;
-use levioso::isa::Machine;
-use levioso::uarch::{CoreConfig, Simulator};
-use proptest::prelude::*;
+use levioso_support::{Gen, Rng};
 
-const ARRAY: u64 = 0x10_0000;
+#[path = "shared/equivalence_checks.rs"]
+mod body;
+use body::ARRAY;
 
 /// Random arithmetic/comparison expression over declared variables and the
 /// array, with bounded nesting (the codegen temp pool allows depth ≤ 4).
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(|v| v.to_string()),
-        (0usize..4).prop_map(|v| format!("v{v}")),
-        (0i64..64).prop_map(|i| format!("a[{i}]")),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+fn arb_expr(g: &mut Gen, depth: u32) -> String {
+    fn leaf(g: &mut Gen) -> String {
+        match g.usize_in(0..3) {
+            0 => g.i64_in(-100..100).to_string(),
+            1 => format!("v{}", g.usize_in(0..4)),
+            _ => format!("a[{}]", g.i64_in(0..64)),
+        }
     }
-    let sub = arb_expr(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        2 => (sub.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
-                Just("<"), Just(">"), Just("=="), Just("!="), Just("<="), Just(">="),
-            ], sub.clone())
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
-        1 => (sub.clone(), prop_oneof![Just("/"), Just("%")], sub.clone())
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
-        1 => sub.prop_map(|e| format!("(-{e})")),
-    ]
-    .boxed()
+    if depth == 0 {
+        return leaf(g);
+    }
+    const BINOPS: [&str; 12] =
+        ["+", "-", "*", "&", "|", "^", "<", ">", "==", "!=", "<=", ">="];
+    const DIVOPS: [&str; 2] = ["/", "%"];
+    match g.weighted(&[3, 2, 1, 1]) {
+        0 => leaf(g),
+        1 => {
+            let (l, r) = (arb_expr(g, depth - 1), arb_expr(g, depth - 1));
+            format!("({l} {} {r})", g.pick(&BINOPS))
+        }
+        2 => {
+            let (l, r) = (arb_expr(g, depth - 1), arb_expr(g, depth - 1));
+            format!("({l} {} {r})", g.pick(&DIVOPS))
+        }
+        _ => format!("(-{})", arb_expr(g, depth - 1)),
+    }
 }
 
 /// Random statement. `v3` is reserved as the loop counter: ordinary
 /// assignments never target it and loops are never nested, so every
 /// generated `while` terminates.
-fn arb_stmt(depth: u32, allow_loop: bool) -> BoxedStrategy<String> {
-    let assign = (0usize..3, arb_expr(2)).prop_map(|(v, e)| format!("v{v} = {e};"));
-    let store = (0i64..64, arb_expr(2)).prop_map(|(i, e)| format!("a[{i}] = {e};"));
+fn arb_stmt(g: &mut Gen, depth: u32, allow_loop: bool) -> String {
+    let assign = |g: &mut Gen| format!("v{} = {};", g.usize_in(0..3), arb_expr(g, 2));
+    let store = |g: &mut Gen| format!("a[{}] = {};", g.i64_in(0..64), arb_expr(g, 2));
     if depth == 0 {
-        return prop_oneof![assign, store].boxed();
+        return if g.bool_any() { assign(g) } else { store(g) };
     }
-    let body = proptest::collection::vec(arb_stmt(depth - 1, false), 1..4)
-        .prop_map(|stmts| stmts.join("\n"));
-    let base = prop_oneof![
-        3 => assign,
-        3 => store,
-        2 => (arb_expr(2), body.clone(), body.clone()).prop_map(|(c, t, e)| {
+    let body = |g: &mut Gen| {
+        let count = g.usize_in(1..4);
+        (0..count).map(|_| arb_stmt(g, depth - 1, false)).collect::<Vec<_>>().join("\n")
+    };
+    let base = |g: &mut Gen| match g.weighted(&[3, 3, 2]) {
+        0 => assign(g),
+        1 => store(g),
+        _ => {
+            let (c, t, e) = (arb_expr(g, 2), body(g), body(g));
             format!("if ({c}) {{ {t} }} else {{ {e} }}")
-        }),
-    ];
+        }
+    };
     if !allow_loop {
-        return base.boxed();
+        return base(g);
     }
-    prop_oneof![
-        6 => base,
-        1 => (1i64..12, body).prop_map(|(bound, b)| {
+    match g.weighted(&[6, 1]) {
+        0 => base(g),
+        _ => {
+            let (bound, b) = (g.i64_in(1..12), body(g));
             format!("v3 = 0; while (v3 < {bound}) {{ {b} v3 = v3 + 1; }}")
-        }),
-    ]
-    .boxed()
+        }
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = String> {
-    (
-        proptest::collection::vec(-50i64..50, 4),
-        proptest::collection::vec(arb_stmt(2, true), 1..6),
-    )
-        .prop_map(|(inits, stmts)| {
-            let mut src = format!("arr a @ {ARRAY};\nfn main() {{\n");
-            for (i, v) in inits.iter().enumerate() {
-                src.push_str(&format!("let v{i} = {v};\n"));
-            }
-            src.push_str(&stmts.join("\n"));
-            // Make every variable observable.
-            src.push_str("\na[100] = v0; a[101] = v1; a[102] = v2; a[103] = v3;\n}\n");
-            src
-        })
+fn arb_program(g: &mut Gen) -> String {
+    let mut src = format!("arr a @ {ARRAY};\nfn main() {{\n");
+    for i in 0..4 {
+        src.push_str(&format!("let v{i} = {};\n", g.i64_in(-50..50)));
+    }
+    let count = g.usize_in(1..6);
+    let stmts: Vec<String> = (0..count).map(|_| arb_stmt(g, 2, true)).collect();
+    src.push_str(&stmts.join("\n"));
+    // Make every variable observable.
+    src.push_str("\na[100] = v0; a[101] = v1; a[102] = v2; a[103] = v3;\n}\n");
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+levioso_support::props! {
+    cases = 64;
 
-    #[test]
-    fn every_scheme_commits_interpreter_state(
-        source in arb_program(),
-        data in proptest::collection::vec(-1000i64..1000, 64),
-    ) {
-        let program = levi::compile("prop", &source).expect("generated programs compile");
-
-        let mut machine = Machine::new();
-        for (i, &v) in data.iter().enumerate() {
-            machine.mem.write_i64(ARRAY + 8 * i as u64, v);
-        }
-        machine.run(&program, 5_000_000).expect("generated programs halt");
-        let golden = machine.arch_fingerprint();
-
-        for scheme in Scheme::ALL {
-            let mut prepared = program.clone();
-            scheme.prepare(&mut prepared);
-            let mut sim = Simulator::new(&prepared, CoreConfig::default());
-            for (i, &v) in data.iter().enumerate() {
-                sim.mem.write_i64(ARRAY + 8 * i as u64, v);
-            }
-            sim.run(scheme.policy().as_ref())
-                .unwrap_or_else(|e| panic!("{scheme} failed: {e}\nsource:\n{source}"));
-            prop_assert_eq!(
-                sim.arch_fingerprint(),
-                golden,
-                "{} diverged from the interpreter on:\n{}",
-                scheme,
-                source
-            );
-        }
+    fn every_scheme_commits_interpreter_state(g) {
+        let source = arb_program(g);
+        let data: Vec<i64> = (0..64).map(|_| g.i64_in(-1000..1000)).collect();
+        g.note("source", &source);
+        g.note("data", &data);
+        body::check_every_scheme_commits_interpreter_state(&source, &data);
     }
 }

@@ -1,0 +1,44 @@
+//! The architectural-equivalence check shared between the random property
+//! test (`tests/arch_equivalence.rs`) and the named regression tests
+//! (`tests/regressions.rs`): for one Levi source and one input image, the
+//! out-of-order core must commit exactly the architectural state the
+//! reference interpreter produces — under **every** secure-speculation
+//! scheme. Defenses restrict timing, never semantics.
+
+use levioso::compiler::levi;
+use levioso::core::Scheme;
+use levioso::isa::Machine;
+use levioso::uarch::{CoreConfig, Simulator};
+
+/// The array base every generated program indexes from.
+pub const ARRAY: u64 = 0x10_0000;
+
+/// Compiles `source`, runs it on the interpreter with `data` preloaded at
+/// [`ARRAY`], then asserts every scheme's simulator commits the same
+/// architectural fingerprint.
+pub fn check_every_scheme_commits_interpreter_state(source: &str, data: &[i64]) {
+    let program = levi::compile("prop", source).expect("generated programs compile");
+
+    let mut machine = Machine::new();
+    for (i, &v) in data.iter().enumerate() {
+        machine.mem.write_i64(ARRAY + 8 * i as u64, v);
+    }
+    machine.run(&program, 5_000_000).expect("generated programs halt");
+    let golden = machine.arch_fingerprint();
+
+    for scheme in Scheme::ALL {
+        let mut prepared = program.clone();
+        scheme.prepare(&mut prepared);
+        let mut sim = Simulator::new(&prepared, CoreConfig::default());
+        for (i, &v) in data.iter().enumerate() {
+            sim.mem.write_i64(ARRAY + 8 * i as u64, v);
+        }
+        sim.run(scheme.policy().as_ref())
+            .unwrap_or_else(|e| panic!("{scheme} failed: {e}\nsource:\n{source}"));
+        assert_eq!(
+            sim.arch_fingerprint(),
+            golden,
+            "{scheme} diverged from the interpreter on:\n{source}"
+        );
+    }
+}
