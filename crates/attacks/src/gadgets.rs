@@ -59,7 +59,7 @@ pub fn spectre_v1(secret: usize) -> Gadget {
     b.ld(T4, S4, 0); // len — cold every iteration (flushed below)
     b.flush(S4, 0);
     b.bgeu(A0, T4, "skip"); // the bounds check
-    // --- victim gadget (architectural when in bounds) ---
+                            // --- victim gadget (architectural when in bounds) ---
     b.slli(T5, A0, 3);
     b.add(T5, T5, S2);
     b.ld(T6, T5, 0); // table[idx]
@@ -155,7 +155,7 @@ pub fn ct_secret(secret: usize) -> Gadget {
     b.li(A3, ORACLE as i64);
     b.ld(T3, A1, 0); // slow (cold) condition, value 1
     b.bnez(T3, "skip"); // predicted not-taken (cold counters), actually taken
-    // --- transient path ---
+                        // --- transient path ---
     b.slli(T4, S6, 6);
     b.add(T4, T4, A3);
     b.ld(T5, T4, 0); // transmit the architectural secret
@@ -198,10 +198,7 @@ pub fn spectre_rsb(secret: usize) -> Gadget {
     b.ret(); // RAS predicts the original call site; actual skips the gadget
     let program = b.build().expect("rsb builds");
     let after = program.label("after_gadget").expect("label") as i64;
-    Gadget {
-        program,
-        memory: vec![(SECRET_ADDR, secret as i64), (ret_target_addr, after)],
-    }
+    Gadget { program, memory: vec![(SECRET_ADDR, secret as i64), (ret_target_addr, after)] }
 }
 
 /// Post-reconvergence φ gadget: the transmit sits *after* the branch's

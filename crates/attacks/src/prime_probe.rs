@@ -148,8 +148,7 @@ impl PrimeProbeResult {
 pub fn run_prime_probe(scheme: levioso_core::Scheme, secret: usize) -> PrimeProbeResult {
     let crate::Gadget { mut program, memory } = pp_ct_secret(secret);
     scheme.prepare(&mut program);
-    let mut sim =
-        levioso_uarch::Simulator::new(&program, levioso_uarch::CoreConfig::default());
+    let mut sim = levioso_uarch::Simulator::new(&program, levioso_uarch::CoreConfig::default());
     for (a, v) in memory {
         sim.mem.write_i64(a, v);
     }
@@ -183,12 +182,7 @@ mod tests {
     fn prime_probe_recovers_secret_on_unsafe() {
         for secret in [2usize, 9, 14] {
             let r = run_prime_probe(Scheme::Unsafe, secret);
-            assert_eq!(
-                r.inferred_secret(),
-                Some(secret),
-                "latencies: {:?}",
-                r.set_latencies
-            );
+            assert_eq!(r.inferred_secret(), Some(secret), "latencies: {:?}", r.set_latencies);
         }
     }
 

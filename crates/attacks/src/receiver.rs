@@ -46,9 +46,7 @@ impl ProbeResult {
     /// Reads the receiver's output from simulated memory after a run.
     pub fn read_from(mem: &Memory) -> Self {
         ProbeResult {
-            latencies: (0..ORACLE_LINES as u64)
-                .map(|i| mem.read_u64(RESULT + 8 * i))
-                .collect(),
+            latencies: (0..ORACLE_LINES as u64).map(|i| mem.read_u64(RESULT + 8 * i)).collect(),
         }
     }
 
@@ -56,13 +54,8 @@ impl ProbeResult {
     /// L1/L2-class hit while every other line paid a memory-class miss.
     /// `None` when zero or several lines look hot (no clean signal).
     pub fn inferred_secret(&self) -> Option<usize> {
-        let hot: Vec<usize> = self
-            .latencies
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l < 60)
-            .map(|(i, _)| i)
-            .collect();
+        let hot: Vec<usize> =
+            self.latencies.iter().enumerate().filter(|(_, &l)| l < 60).map(|(i, _)| i).collect();
         match hot.as_slice() {
             [one] => Some(*one),
             _ => None,

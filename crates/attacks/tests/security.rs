@@ -82,8 +82,7 @@ fn corrupted_annotations_reopen_the_leak() {
     let gadget = AttackKind::CtSecret.gadget(5);
     let mut program = gadget.program.clone();
     Scheme::Levioso.prepare(&mut program);
-    program.annotations =
-        Some(levioso_isa::Annotations::all_empty(program.instrs.len()));
+    program.annotations = Some(levioso_isa::Annotations::all_empty(program.instrs.len()));
     let mut sim = Simulator::new(&program, CoreConfig::default());
     for (a, v) in &gadget.memory {
         sim.mem.write_i64(*a, *v);
@@ -106,8 +105,7 @@ fn all_older_annotations_still_block() {
 
     let gadget = AttackKind::CtSecret.gadget(5);
     let mut program = gadget.program.clone();
-    program.annotations =
-        Some(levioso_isa::Annotations::all_older(program.instrs.len()));
+    program.annotations = Some(levioso_isa::Annotations::all_older(program.instrs.len()));
     let mut sim = Simulator::new(&program, CoreConfig::default());
     for (a, v) in &gadget.memory {
         sim.mem.write_i64(*a, *v);

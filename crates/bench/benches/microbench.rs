@@ -14,10 +14,8 @@ use levioso_workloads::{suite, Scale};
 use std::hint::black_box;
 
 fn scheme_throughput(c: &mut Bench) {
-    let workload = suite(Scale::Smoke)
-        .into_iter()
-        .find(|w| w.name == "filter_scan")
-        .expect("kernel exists");
+    let workload =
+        suite(Scale::Smoke).into_iter().find(|w| w.name == "filter_scan").expect("kernel exists");
     let mut group = c.group("simulate_filter_scan");
     group.sample_size(10);
     for scheme in Scheme::HEADLINE {
@@ -76,10 +74,8 @@ fn cache_hierarchy(c: &mut Bench) {
 }
 
 fn interpreter_throughput(c: &mut Bench) {
-    let workload = suite(Scale::Smoke)
-        .into_iter()
-        .find(|w| w.name == "crc32")
-        .expect("kernel exists");
+    let workload =
+        suite(Scale::Smoke).into_iter().find(|w| w.name == "crc32").expect("kernel exists");
     c.bench_function("interpreter_crc32", |b| {
         b.iter_batched(
             || {
@@ -110,7 +106,8 @@ fn dominator_analysis(c: &mut Bench) {
         s.push_str("  i = i + 1;\n }\n a[200] = x;\n}\n");
         s
     };
-    let program = levioso_compiler::levi::compile_unannotated("branchy", &source).expect("compiles");
+    let program =
+        levioso_compiler::levi::compile_unannotated("branchy", &source).expect("compiles");
     c.bench_function("analyze_branchy_cfg", |b| {
         b.iter(|| black_box(levioso_compiler::Analysis::of(black_box(&program))));
     });

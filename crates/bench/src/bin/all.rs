@@ -1,27 +1,96 @@
-//! Regenerates every figure and table of the evaluation in order.
+//! The bench driver: regenerates every figure and table of the evaluation,
+//! or gates the current tree against the golden snapshots.
+//!
+//! ```text
+//! all                       # regenerate everything, mirror into results/
+//! all --smoke --check       # CI: recompute shape figures, diff vs golden, exit 1 on drift
+//! all --paper --bless       # regenerate + record new paper-tier goldens
+//! all --threads 8           # size the sweep pool explicitly
+//! ```
+//!
+//! All simulation cells fan out across the sweep pool; results are
+//! bit-identical at any thread count.
 #[path = "../util.rs"]
 mod util;
 
+use levioso_bench::{gate, Sweep, Tier};
+use std::time::Instant;
+
 fn main() {
-    let scale = util::scale_from_env();
+    let opts = util::Opts::parse(true);
+    let sweep = opts.sweep();
+    let tier = opts.tier;
+    let start = Instant::now();
+    eprintln!(
+        "==> {} tier, {} worker thread(s){}",
+        tier.name(),
+        sweep.threads(),
+        if opts.check {
+            " — golden regression check"
+        } else if opts.bless {
+            " — regenerating golden snapshots"
+        } else {
+            ""
+        }
+    );
+
+    if opts.check || opts.bless {
+        gate_mode(&sweep, tier, opts.check, start);
+    }
+
+    // Full regeneration, report order. Tables first (cheap), then the
+    // shape figures (the parallel sweeps).
     let t = levioso_bench::config_table();
-    util::emit("table1_config", &t.render(), None);
-    let f = levioso_bench::motivation_figure(scale);
-    util::emit("fig1_motivation", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::overhead_figure(scale);
-    util::emit("fig2_overhead", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::ablation_figure(scale);
-    util::emit("fig3_ablation", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::rob_sweep_figure(scale, &[64, 128, 224, 352]);
-    util::emit("fig4_rob_sweep", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::mem_sweep_figure(scale, &[60, 120, 240, 480]);
-    util::emit("fig5_mem_sweep", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::transient_fill_figure(scale);
-    util::emit("fig6_transient_fills", &f.render(), Some(f.to_json()));
-    let f = levioso_bench::annotation_cap_figure(scale, &[0, 1, 2, 3, 4, usize::MAX]);
-    util::emit("fig7_hint_budget", &f.render(), Some(f.to_json()));
+    util::emit(tier, "table1_config", &t.render(), None);
+    for (id, f) in gate::shape_figures(&sweep, tier) {
+        util::emit(tier, id, &f.render(), Some(f.to_json()));
+    }
     let t = levioso_bench::security_table();
-    util::emit("table2_security", &t.render(), None);
-    let t = levioso_bench::annotation_table(scale);
-    util::emit("table3_annotation", &t.render(), None);
+    util::emit(tier, "table2_security", &t.render(), None);
+    let t = levioso_bench::annotation_table(&sweep, tier.scale());
+    util::emit(tier, "table3_annotation", &t.render(), None);
+    eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// `--check` / `--bless`: compute the shape figures, then gate or record.
+fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> ! {
+    let figures = gate::shape_figures(sweep, tier);
+    let violations = gate::shape_violations(&figures);
+    for v in &violations {
+        eprintln!("SHAPE {v}");
+    }
+    if check {
+        let report = gate::check_figures(&figures, tier);
+        print!("{}", report.render());
+        eprintln!(
+            "==> checked {} cells in {:.1}s",
+            report.cells_checked,
+            start.elapsed().as_secs_f64()
+        );
+        if !report.is_clean() || !violations.is_empty() {
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+    if !violations.is_empty() {
+        eprintln!("refusing to bless snapshots that violate shape invariants");
+        std::process::exit(1);
+    }
+    match gate::bless_figures(&figures, tier) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("blessed {}", p.display());
+            }
+            eprintln!(
+                "==> recorded {} snapshots in {:.1}s",
+                paths.len(),
+                start.elapsed().as_secs_f64()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("failed to write golden snapshots: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::motivation_figure(util::scale_from_env());
-    util::emit("fig1_motivation", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f = levioso_bench::motivation_figure(&opts.sweep(), opts.tier.scale());
+    util::emit(opts.tier, "fig1_motivation", &f.render(), Some(f.to_json()));
 }

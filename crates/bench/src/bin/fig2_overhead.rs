@@ -3,8 +3,9 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::overhead_figure(util::scale_from_env());
-    util::emit("fig2_overhead", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f = levioso_bench::overhead_figure(&opts.sweep(), opts.tier.scale());
+    util::emit(opts.tier, "fig2_overhead", &f.render(), Some(f.to_json()));
     for scheme in [
         levioso_core::Scheme::CommitDelay,
         levioso_core::Scheme::ExecuteDelay,

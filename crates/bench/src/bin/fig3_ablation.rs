@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::ablation_figure(util::scale_from_env());
-    util::emit("fig3_ablation", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f = levioso_bench::ablation_figure(&opts.sweep(), opts.tier.scale());
+    util::emit(opts.tier, "fig3_ablation", &f.render(), Some(f.to_json()));
 }

@@ -3,6 +3,8 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::rob_sweep_figure(util::scale_from_env(), &[64, 128, 224, 352]);
-    util::emit("fig4_rob_sweep", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f =
+        levioso_bench::rob_sweep_figure(&opts.sweep(), opts.tier.scale(), opts.tier.rob_sizes());
+    util::emit(opts.tier, "fig4_rob_sweep", &f.render(), Some(f.to_json()));
 }

@@ -3,6 +3,11 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::mem_sweep_figure(util::scale_from_env(), &[60, 120, 240, 480]);
-    util::emit("fig5_mem_sweep", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f = levioso_bench::mem_sweep_figure(
+        &opts.sweep(),
+        opts.tier.scale(),
+        opts.tier.dram_latencies(),
+    );
+    util::emit(opts.tier, "fig5_mem_sweep", &f.render(), Some(f.to_json()));
 }

@@ -3,9 +3,8 @@
 mod util;
 
 fn main() {
-    let f = levioso_bench::annotation_cap_figure(
-        util::scale_from_env(),
-        &[0, 1, 2, 3, 4, usize::MAX],
-    );
-    util::emit("fig7_hint_budget", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false);
+    let f =
+        levioso_bench::annotation_cap_figure(&opts.sweep(), opts.tier.scale(), opts.tier.caps());
+    util::emit(opts.tier, "fig7_hint_budget", &f.render(), Some(f.to_json()));
 }

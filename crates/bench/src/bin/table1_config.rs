@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
+    let opts = util::Opts::parse(false);
     let t = levioso_bench::config_table();
-    util::emit("table1_config", &t.render(), None);
+    util::emit(opts.tier, "table1_config", &t.render(), None);
 }

@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
+    let opts = util::Opts::parse(false);
     let t = levioso_bench::security_table();
-    util::emit("table2_security", &t.render(), None);
+    util::emit(opts.tier, "table2_security", &t.render(), None);
 }

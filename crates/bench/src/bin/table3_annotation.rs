@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
-    let t = levioso_bench::annotation_table(util::scale_from_env());
-    util::emit("table3_annotation", &t.render(), None);
+    let opts = util::Opts::parse(false);
+    let t = levioso_bench::annotation_table(&opts.sweep(), opts.tier.scale());
+    util::emit(opts.tier, "table3_annotation", &t.render(), None);
 }

@@ -15,15 +15,30 @@
 //! | T2 | [`security_table`] | `table2_security` |
 //! | T3 | [`annotation_table`] | `table3_annotation` |
 //!
-//! Run everything with `cargo run -p levioso-bench --release --bin all`.
+//! Every figure decomposes into independent `(workload, scheme, config)`
+//! simulation cells that a [`Sweep`] executor fans out across threads;
+//! aggregation happens in fixed cell order, so the emitted numbers are
+//! bit-identical at any thread count (see [`sweep`]).
+//!
+//! Run everything with `cargo run -p levioso-bench --release --bin all`
+//! (`--threads N` to size the pool, `--smoke` for the CI tier, `--check`
+//! to gate against the golden snapshots in `results/golden/` — see
+//! [`gate`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use levioso_core::{Scheme};
+use levioso_core::Scheme;
 use levioso_stats::{geomean, Figure, Table};
 use levioso_uarch::{CoreConfig, SimStats};
 use levioso_workloads::{suite, Scale, Workload};
+use std::collections::HashMap;
+
+pub mod gate;
+pub mod sweep;
+
+pub use gate::Tier;
+pub use sweep::Sweep;
 
 /// Runs one workload under one scheme/config and returns its statistics.
 ///
@@ -45,37 +60,89 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     stats
 }
 
+/// One simulation cell of a normalized-runtime grid.
+struct SimCell<'a> {
+    config_idx: usize,
+    workload_idx: usize,
+    workload: &'a Workload,
+    scheme: Scheme,
+    config: &'a CoreConfig,
+}
+
+/// Per-scheme normalized runtime series — the building block of every
+/// slowdown figure.
+type SchemeSeries = Vec<(Scheme, Vec<(String, f64)>)>;
+
+/// Runs the full `(config × workload × scheme)` grid in parallel and
+/// returns, per config, the per-workload execution time normalized to the
+/// unsafe baseline with a trailing geomean row — the aggregation every
+/// slowdown figure uses.
+///
+/// Cells are enumerated in a fixed order (configs outermost, then
+/// workloads, then the unsafe baseline followed by each non-unsafe
+/// scheme), and aggregation walks that same order, so the output is
+/// independent of thread count and completion order.
+fn grid_runtimes(
+    sweep: &Sweep,
+    workloads: &[Workload],
+    schemes: &[Scheme],
+    configs: &[CoreConfig],
+) -> Vec<SchemeSeries> {
+    let mut cells: Vec<SimCell<'_>> = Vec::new();
+    let mut index: HashMap<(usize, usize, Scheme), usize> = HashMap::new();
+    for (ci, config) in configs.iter().enumerate() {
+        for (wi, workload) in workloads.iter().enumerate() {
+            for scheme in std::iter::once(Scheme::Unsafe)
+                .chain(schemes.iter().copied().filter(|&s| s != Scheme::Unsafe))
+            {
+                index.insert((ci, wi, scheme), cells.len());
+                cells.push(SimCell { config_idx: ci, workload_idx: wi, workload, scheme, config });
+            }
+        }
+    }
+    let stats = sweep.map(&cells, |cell, _rng| {
+        debug_assert!(cell.config_idx < configs.len() && cell.workload_idx < workloads.len());
+        run_workload(cell.workload, cell.scheme, cell.config)
+    });
+    let cycles = |ci: usize, wi: usize, scheme: Scheme| -> f64 {
+        stats[index[&(ci, wi, scheme)]].cycles as f64
+    };
+    configs
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| {
+            schemes
+                .iter()
+                .map(|&scheme| {
+                    let mut points: Vec<(String, f64)> = workloads
+                        .iter()
+                        .enumerate()
+                        .map(|(wi, w)| {
+                            let b = cycles(ci, wi, Scheme::Unsafe);
+                            (w.name.to_string(), cycles(ci, wi, scheme) / b)
+                        })
+                        .collect();
+                    let g = geomean(&points.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+                    points.push(("geomean".to_string(), g));
+                    (scheme, points)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Per-workload execution-time normalized to the unsafe baseline for a set
-/// of schemes, with a trailing geomean row.
-fn normalized_runtimes(
+/// of schemes, with a trailing geomean row. Cells run in parallel on
+/// `sweep`; the result is identical at any thread count.
+pub fn normalized_runtimes(
+    sweep: &Sweep,
     workloads: &[Workload],
     schemes: &[Scheme],
     config: &CoreConfig,
-) -> Vec<(Scheme, Vec<(String, f64)>)> {
-    let baselines: Vec<f64> = workloads
-        .iter()
-        .map(|w| run_workload(w, Scheme::Unsafe, config).cycles as f64)
-        .collect();
-    schemes
-        .iter()
-        .map(|&scheme| {
-            let mut points: Vec<(String, f64)> = workloads
-                .iter()
-                .zip(&baselines)
-                .map(|(w, &b)| {
-                    let cycles = if scheme == Scheme::Unsafe {
-                        b
-                    } else {
-                        run_workload(w, scheme, config).cycles as f64
-                    };
-                    (w.name.to_string(), cycles / b)
-                })
-                .collect();
-            let g = geomean(&points.iter().map(|(_, v)| *v).collect::<Vec<_>>());
-            points.push(("geomean".to_string(), g));
-            (scheme, points)
-        })
-        .collect()
+) -> SchemeSeries {
+    grid_runtimes(sweep, workloads, schemes, std::slice::from_ref(config))
+        .pop()
+        .expect("one config in, one result out")
 }
 
 /// **T1** — the simulated core configuration.
@@ -89,14 +156,15 @@ pub fn config_table() -> Table {
 
 /// **F1** — motivation: conservative speculation shadow vs. true
 /// dependencies, per workload (snapshot fractions and mean wait cycles).
-pub fn motivation_figure(scale: Scale) -> Figure {
+pub fn motivation_figure(sweep: &Sweep, scale: Scale) -> Figure {
     let config = CoreConfig::default();
+    let workloads = suite(scale);
+    let stats = sweep.map(&workloads, |w, _rng| run_workload(w, Scheme::Levioso, &config));
     let mut shadow_frac = Vec::new();
     let mut true_frac = Vec::new();
     let mut shadow_wait = Vec::new();
     let mut true_wait = Vec::new();
-    for w in suite(scale) {
-        let s = run_workload(&w, Scheme::Levioso, &config);
+    for (w, s) in workloads.iter().zip(&stats) {
         shadow_frac.push((w.name.to_string(), s.shadowed_fraction()));
         true_frac.push((w.name.to_string(), s.true_dep_fraction()));
         shadow_wait.push((w.name.to_string(), s.shadow_wait_per_instr()));
@@ -115,14 +183,14 @@ pub fn motivation_figure(scale: Scale) -> Figure {
 
 /// **F2** — the headline overhead comparison: normalized execution time per
 /// workload + geomean for the headline schemes.
-pub fn overhead_figure(scale: Scale) -> Figure {
+pub fn overhead_figure(sweep: &Sweep, scale: Scale) -> Figure {
     let config = CoreConfig::default();
     let workloads = suite(scale);
     let mut f = Figure::new(
         "F2: execution time normalized to the unsafe out-of-order baseline",
         "slowdown (x)",
     );
-    for (scheme, points) in normalized_runtimes(&workloads, &Scheme::HEADLINE, &config) {
+    for (scheme, points) in normalized_runtimes(sweep, &workloads, &Scheme::HEADLINE, &config) {
         f.push_series(scheme.name(), points);
     }
     f
@@ -131,16 +199,15 @@ pub fn overhead_figure(scale: Scale) -> Figure {
 /// **F3** — Levioso ablation: full (hardware dataflow propagation) vs.
 /// static (compile-time dataflow closure) vs. control-only (unsound; shown
 /// as the precision upper bound).
-pub fn ablation_figure(scale: Scale) -> Figure {
+pub fn ablation_figure(sweep: &Sweep, scale: Scale) -> Figure {
     let config = CoreConfig::default();
     let workloads = suite(scale);
-    let schemes =
-        [Scheme::Unsafe, Scheme::Levioso, Scheme::LeviosoStatic, Scheme::LeviosoCtrlOnly];
+    let schemes = [Scheme::Unsafe, Scheme::Levioso, Scheme::LeviosoStatic, Scheme::LeviosoCtrlOnly];
     let mut f = Figure::new(
         "F3: Levioso variants (levioso-ctrl-only is UNSOUND; precision bound only)",
         "slowdown (x)",
     );
-    for (scheme, points) in normalized_runtimes(&workloads, &schemes, &config) {
+    for (scheme, points) in normalized_runtimes(sweep, &workloads, &schemes, &config) {
         f.push_series(scheme.name(), points);
     }
     f
@@ -155,60 +222,62 @@ pub fn sweep_kernels(scale: Scale) -> Vec<Workload> {
         .collect()
 }
 
-/// **F4** — sensitivity to reorder-buffer size: geomean slowdown of the
-/// comprehensive schemes at each ROB size.
-pub fn rob_sweep_figure(scale: Scale, rob_sizes: &[usize]) -> Figure {
+/// Shared shape of the two sensitivity sweeps (F4/F5): geomean slowdown of
+/// the comprehensive schemes at each swept configuration. The whole
+/// `(config × workload × scheme)` grid runs as one parallel wave.
+fn sensitivity_figure(
+    sweep: &Sweep,
+    scale: Scale,
+    title: &str,
+    labeled_configs: &[(String, CoreConfig)],
+) -> Figure {
     let workloads = sweep_kernels(scale);
     let schemes = [Scheme::CommitDelay, Scheme::ExecuteDelay, Scheme::Levioso];
-    let mut f = Figure::new("F4: geomean slowdown vs ROB size", "slowdown (x)");
+    let configs: Vec<CoreConfig> = labeled_configs.iter().map(|(_, c)| c.clone()).collect();
+    let per_config = grid_runtimes(sweep, &workloads, &schemes, &configs);
+    let mut f = Figure::new(title, "slowdown (x)");
     let mut per_scheme: Vec<(Scheme, Vec<(String, f64)>)> =
         schemes.iter().map(|&s| (s, Vec::new())).collect();
-    for &rob in rob_sizes {
-        let config = CoreConfig::default().with_rob_size(rob);
-        for (scheme, points) in normalized_runtimes(&workloads, &schemes, &config) {
+    for ((label, _), runtimes) in labeled_configs.iter().zip(&per_config) {
+        for (scheme, points) in runtimes {
             let g = points.last().expect("geomean row").1;
             per_scheme
                 .iter_mut()
-                .find(|(s, _)| *s == scheme)
+                .find(|(s, _)| s == scheme)
                 .expect("scheme present")
                 .1
-                .push((rob.to_string(), g));
+                .push((label.clone(), g));
         }
     }
     for (scheme, points) in per_scheme {
         f.push_series(scheme.name(), points);
     }
     f
+}
+
+/// **F4** — sensitivity to reorder-buffer size: geomean slowdown of the
+/// comprehensive schemes at each ROB size.
+pub fn rob_sweep_figure(sweep: &Sweep, scale: Scale, rob_sizes: &[usize]) -> Figure {
+    let configs: Vec<(String, CoreConfig)> = rob_sizes
+        .iter()
+        .map(|&rob| (rob.to_string(), CoreConfig::default().with_rob_size(rob)))
+        .collect();
+    sensitivity_figure(sweep, scale, "F4: geomean slowdown vs ROB size", &configs)
 }
 
 /// **F5** — sensitivity to memory latency: geomean slowdown of the
 /// comprehensive schemes at each DRAM latency.
-pub fn mem_sweep_figure(scale: Scale, dram_latencies: &[u64]) -> Figure {
-    let workloads = sweep_kernels(scale);
-    let schemes = [Scheme::CommitDelay, Scheme::ExecuteDelay, Scheme::Levioso];
-    let mut f = Figure::new("F5: geomean slowdown vs DRAM latency", "slowdown (x)");
-    let mut per_scheme: Vec<(Scheme, Vec<(String, f64)>)> =
-        schemes.iter().map(|&s| (s, Vec::new())).collect();
-    for &lat in dram_latencies {
-        let config = CoreConfig::default().with_dram_latency(lat);
-        for (scheme, points) in normalized_runtimes(&workloads, &schemes, &config) {
-            let g = points.last().expect("geomean row").1;
-            per_scheme
-                .iter_mut()
-                .find(|(s, _)| *s == scheme)
-                .expect("scheme present")
-                .1
-                .push((lat.to_string(), g));
-        }
-    }
-    for (scheme, points) in per_scheme {
-        f.push_series(scheme.name(), points);
-    }
-    f
+pub fn mem_sweep_figure(sweep: &Sweep, scale: Scale, dram_latencies: &[u64]) -> Figure {
+    let configs: Vec<(String, CoreConfig)> = dram_latencies
+        .iter()
+        .map(|&lat| (lat.to_string(), CoreConfig::default().with_dram_latency(lat)))
+        .collect();
+    sensitivity_figure(sweep, scale, "F5: geomean slowdown vs DRAM latency", &configs)
 }
 
 /// **T2** — the security matrix: every scheme × every attack, measured by
-/// actually running the receiver.
+/// actually running the receiver. (Serial: the matrix lives in
+/// `levioso-attacks` and is cheap next to the performance sweeps.)
 pub fn security_table() -> Table {
     let mut headers = vec!["scheme", "comprehensive?"];
     headers.extend(levioso_attacks::AttackKind::ALL.iter().map(|k| k.name()));
@@ -227,7 +296,7 @@ pub fn security_table() -> Table {
 
 /// **T3** — annotation cost: static dependency-set sizes and hint bits per
 /// workload, for both annotation flavours.
-pub fn annotation_table(scale: Scale) -> Table {
+pub fn annotation_table(sweep: &Sweep, scale: Scale) -> Table {
     let mut t = Table::new(
         "T3: annotation cost (control-only / static-dataflow flavours)",
         &[
@@ -240,7 +309,8 @@ pub fn annotation_table(scale: Scale) -> Table {
             "max deps",
         ],
     );
-    for w in suite(scale) {
+    let workloads = suite(scale);
+    let rows = sweep.map(&workloads, |w, _rng| {
         let mut ctrl = w.program.clone();
         levioso_compiler::annotate_with(
             &mut ctrl,
@@ -253,7 +323,7 @@ pub fn annotation_table(scale: Scale) -> Table {
             &levioso_compiler::AnnotateConfig { static_dataflow: true },
         );
         let s = full.annotations.as_ref().expect("annotated").cost();
-        t.push_row(vec![
+        vec![
             w.name.to_string(),
             c.instructions.to_string(),
             format!("{:.2}", c.deps_per_instr()),
@@ -261,7 +331,10 @@ pub fn annotation_table(scale: Scale) -> Table {
             format!("{:.2}", s.deps_per_instr()),
             format!("{:.2}", s.bits_per_instr()),
             s.max_deps.max(c.max_deps).to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -270,26 +343,37 @@ pub fn annotation_table(scale: Scale) -> Table {
 /// instruction fills per kilo-instruction under each headline scheme.
 /// Zero for the delay-everything baselines; nonzero-but-benign for Levioso
 /// (its performance edge); large for the unprotected core.
-pub fn transient_fill_figure(scale: Scale) -> Figure {
+pub fn transient_fill_figure(sweep: &Sweep, scale: Scale) -> Figure {
     let config = CoreConfig::default();
     let workloads = suite(scale);
+    let cells: Vec<(Scheme, &Workload)> = Scheme::HEADLINE
+        .iter()
+        .flat_map(|&scheme| workloads.iter().map(move |w| (scheme, w)))
+        .collect();
+    let stats = sweep.map(&cells, |&(scheme, w), _rng| run_workload(w, scheme, &config));
     let mut f = Figure::new(
         "F6: transient cache fills per kilo-instruction (residual speculative visibility)",
         "fills / kilo-instruction",
     );
+    let mut cursor = cells.iter().zip(&stats);
     for scheme in Scheme::HEADLINE {
         let mut points: Vec<(String, f64)> = Vec::new();
         let mut total_fills = 0u64;
         let mut total_commits = 0u64;
-        for w in &workloads {
-            let s = run_workload(w, scheme, &config);
+        for _ in &workloads {
+            let (&(cell_scheme, w), s) = cursor.next().expect("cell per (scheme, workload)");
+            debug_assert_eq!(cell_scheme, scheme);
             total_fills += s.transient_fills;
             total_commits += s.committed;
             points.push((w.name.to_string(), s.transient_fills_pki()));
         }
         points.push((
             "overall".to_string(),
-            if total_commits == 0 { 0.0 } else { total_fills as f64 * 1000.0 / total_commits as f64 },
+            if total_commits == 0 {
+                0.0
+            } else {
+                total_fills as f64 * 1000.0 / total_commits as f64
+            },
         ));
         f.push_series(scheme.name(), points);
     }
@@ -300,21 +384,18 @@ pub fn transient_fill_figure(scale: Scale) -> Figure {
 /// Levioso when every dependency set larger than the cap collapses to the
 /// conservative fallback. Caps model finite ISA hint encodings; `usize::MAX`
 /// is the uncapped reference.
-pub fn annotation_cap_figure(scale: Scale, caps: &[usize]) -> Figure {
+pub fn annotation_cap_figure(sweep: &Sweep, scale: Scale, caps: &[usize]) -> Figure {
     let config = CoreConfig::default();
     let workloads = suite(scale);
-    let baselines: Vec<f64> = workloads
+    // Cell order: all baselines first, then caps × workloads.
+    let cells: Vec<(Option<usize>, &Workload)> = workloads
         .iter()
-        .map(|w| run_workload(w, Scheme::Unsafe, &config).cycles as f64)
+        .map(|w| (None, w))
+        .chain(caps.iter().flat_map(|&cap| workloads.iter().map(move |w| (Some(cap), w))))
         .collect();
-    let mut f = Figure::new(
-        "F7: levioso geomean slowdown vs annotation budget (max deps encodable per instruction)",
-        "slowdown (x)",
-    );
-    let mut points = Vec::new();
-    for &cap in caps {
-        let mut ratios = Vec::new();
-        for (w, &b) in workloads.iter().zip(&baselines) {
+    let cycles = sweep.map(&cells, |&(cap, w), _rng| match cap {
+        None => run_workload(w, Scheme::Unsafe, &config).cycles as f64,
+        Some(cap) => {
             let mut program = w.program.clone();
             Scheme::Levioso.prepare(&mut program);
             let full = program.annotations.clone().expect("annotated");
@@ -330,8 +411,18 @@ pub fn annotation_cap_figure(scale: Scale, caps: &[usize]) -> Figure {
                 "{} cap {cap}: checksum mismatch",
                 w.name
             );
-            ratios.push(stats.cycles as f64 / b);
+            stats.cycles as f64
         }
+    });
+    let baselines = &cycles[..workloads.len()];
+    let mut f = Figure::new(
+        "F7: levioso geomean slowdown vs annotation budget (max deps encodable per instruction)",
+        "slowdown (x)",
+    );
+    let mut points = Vec::new();
+    for (ci, &cap) in caps.iter().enumerate() {
+        let capped = &cycles[workloads.len() * (ci + 1)..workloads.len() * (ci + 2)];
+        let ratios: Vec<f64> = capped.iter().zip(baselines).map(|(c, b)| c / b).collect();
         let label = if cap == usize::MAX { "uncapped".to_string() } else { cap.to_string() };
         points.push((label, geomean(&ratios)));
     }
@@ -373,13 +464,13 @@ mod tests {
 
     #[test]
     fn t3_reports_all_workloads() {
-        let t = annotation_table(Scale::Smoke);
+        let t = annotation_table(&Sweep::new(2), Scale::Smoke);
         assert_eq!(t.rows.len(), 12);
     }
 
     #[test]
     fn f2_smoke_has_expected_shape() {
-        let f = overhead_figure(Scale::Smoke);
+        let f = overhead_figure(&Sweep::from_env(), Scale::Smoke);
         assert_eq!(f.series.len(), Scheme::HEADLINE.len());
         let lev = geomean_of(&f, Scheme::Levioso).unwrap();
         let exe = geomean_of(&f, Scheme::ExecuteDelay).unwrap();
@@ -399,5 +490,22 @@ mod tests {
         let w = suite(Scale::Smoke).remove(0);
         let s = run_workload(&w, Scheme::Levioso, &CoreConfig::default());
         assert!(s.committed > 0);
+    }
+
+    #[test]
+    fn normalized_runtimes_identical_across_thread_counts() {
+        // A deliberately small grid (2 workloads × 2 schemes + baselines)
+        // so this stays a unit test; the full-sweep equivalent is the
+        // golden regression suite in tests/golden.rs.
+        let workloads: Vec<Workload> = suite(Scale::Smoke).into_iter().take(2).collect();
+        let schemes = [Scheme::Unsafe, Scheme::DelayOnMiss];
+        let config = CoreConfig::default();
+        let one = normalized_runtimes(&Sweep::new(1), &workloads, &schemes, &config);
+        let four = normalized_runtimes(&Sweep::new(4), &workloads, &schemes, &config);
+        let eight = normalized_runtimes(&Sweep::new(8), &workloads, &schemes, &config);
+        assert_eq!(one, four, "1-thread vs 4-thread sweep must be bit-identical");
+        assert_eq!(one, eight, "1-thread vs 8-thread sweep must be bit-identical");
+        // The unsafe series normalizes to exactly 1.0 everywhere.
+        assert!(one[0].1.iter().all(|(_, v)| *v == 1.0));
     }
 }

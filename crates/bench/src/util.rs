@@ -1,24 +1,112 @@
-//! Shared output plumbing for the experiment binaries.
+//! Shared CLI parsing and output plumbing for the experiment binaries.
 
-use levioso_workloads::Scale;
-use std::path::Path;
+// Each binary includes this file as its own module; not every binary uses
+// every helper.
+#![allow(dead_code)]
 
-#[allow(dead_code)] // not every binary takes a scale
-/// Scale selected by the `LEVIOSO_SCALE` environment variable
-/// (`smoke`/`paper`; default `paper`).
-pub fn scale_from_env() -> Scale {
-    match std::env::var("LEVIOSO_SCALE").as_deref() {
-        Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
-        _ => Scale::Paper,
+use levioso_bench::{Sweep, Tier};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Options every experiment binary understands. The `all` driver
+/// additionally accepts the golden-gate flags (`--check`/`--bless`).
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Sweep tier (problem scale + sweep grids).
+    pub tier: Tier,
+    /// Worker threads; `None` defers to `LEVIOSO_THREADS`/available
+    /// parallelism via [`Sweep::from_env`].
+    pub threads: Option<usize>,
+    /// Compare against golden snapshots instead of mirroring results.
+    pub check: bool,
+    /// Regenerate the tier's golden snapshots.
+    pub bless: bool,
+}
+
+impl Opts {
+    /// Parses process arguments. `gate_flags` enables `--check`/`--bless`
+    /// (the `all` driver); other binaries reject them. Prints usage and
+    /// exits 2 on unknown or malformed arguments.
+    pub fn parse(gate_flags: bool) -> Opts {
+        let mut opts = Opts { tier: tier_from_env(), threads: None, check: false, bless: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => opts.tier = Tier::Smoke,
+                "--paper" => opts.tier = Tier::Paper,
+                "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => opts.threads = Some(n),
+                    _ => usage_error(gate_flags, "--threads needs a positive integer"),
+                },
+                "--check" if gate_flags => opts.check = true,
+                "--bless" if gate_flags => opts.bless = true,
+                "--help" | "-h" => {
+                    eprintln!("{}", usage(gate_flags));
+                    exit(0);
+                }
+                other => usage_error(gate_flags, &format!("unknown argument `{other}`")),
+            }
+        }
+        if opts.check && opts.bless {
+            usage_error(gate_flags, "--check and --bless are mutually exclusive");
+        }
+        opts
+    }
+
+    /// Builds the sweep executor these options describe.
+    pub fn sweep(&self) -> Sweep {
+        match self.threads {
+            Some(n) => Sweep::new(n),
+            None => Sweep::from_env(),
+        }
     }
 }
 
-/// Prints a rendered report and mirrors it (plus optional JSON) into
-/// `results/`.
-pub fn emit(id: &str, rendered: &str, json: Option<String>) {
+/// Tier selected by the `LEVIOSO_SCALE` environment variable
+/// (`smoke`/`paper`; default `paper`), overridable by `--smoke`/`--paper`.
+fn tier_from_env() -> Tier {
+    match std::env::var("LEVIOSO_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => Tier::Smoke,
+        _ => Tier::Paper,
+    }
+}
+
+fn usage(gate_flags: bool) -> String {
+    let gate = if gate_flags {
+        "\n  --check        compare against results/golden/<tier>/ and exit nonzero on drift\
+         \n  --bless        regenerate the tier's golden snapshots"
+    } else {
+        ""
+    };
+    format!(
+        "usage: [--smoke|--paper] [--threads N]{gate}\n\
+         \n  --smoke        reduced problem sizes and sweep grids (the CI tier)\
+         \n  --paper        full evaluation settings (default; or LEVIOSO_SCALE env)\
+         \n  --threads N    worker threads (default: LEVIOSO_THREADS or all cores)"
+    )
+}
+
+fn usage_error(gate_flags: bool, message: &str) -> ! {
+    eprintln!("error: {message}\n{}", usage(gate_flags));
+    exit(2)
+}
+
+/// The repo-root `results/` directory (anchored at the crate manifest, so
+/// output lands in the repo regardless of working directory).
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Prints a rendered report and, at paper tier, mirrors it (plus optional
+/// JSON) into `results/`. Smoke-tier runs never overwrite the recorded
+/// paper-scale snapshots.
+pub fn emit(tier: Tier, id: &str, rendered: &str, json: Option<String>) {
     println!("{rendered}");
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
+    if tier != Tier::Paper {
+        return;
+    }
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::write(dir.join(format!("{id}.txt")), rendered);
         if let Some(j) = json {
             let _ = std::fs::write(dir.join(format!("{id}.json")), j);

@@ -149,13 +149,8 @@ fn interprocedural_entry_deps(
     let mut conservative = vec![false; nfuncs];
 
     // Map function entry instruction -> function index.
-    let entry_to_fi: std::collections::BTreeMap<u32, usize> = analysis
-        .cfg
-        .functions
-        .iter()
-        .enumerate()
-        .map(|(fi, f)| (f.entry_instr, fi))
-        .collect();
+    let entry_to_fi: std::collections::BTreeMap<u32, usize> =
+        analysis.cfg.functions.iter().enumerate().map(|(fi, f)| (f.entry_instr, fi)).collect();
 
     // Collect reachable call sites: (caller fi, callee fi, call instr).
     let mut call_sites: Vec<(usize, usize, u32)> = Vec::new();
@@ -333,8 +328,7 @@ mod tests {
         ",
         )
         .unwrap();
-        let a =
-            annotate_with(&mut p, &AnnotateConfig { static_dataflow: true }).clone();
+        let a = annotate_with(&mut p, &AnnotateConfig { static_dataflow: true }).clone();
         assert_eq!(deps(&p, &a, 4), vec![0], "phi consumer inherits the branch");
         assert_eq!(deps(&p, &a, 5), Vec::<u32>::new(), "independent add stays clean");
         // Control-only variant leaves instruction 4 clean (hardware will

@@ -10,7 +10,7 @@
 //! levc program.levi --emit binary    # hex words of the binary image
 //! ```
 
-use levioso_compiler::{annotate_with, AnnotateConfig, Analysis};
+use levioso_compiler::{annotate_with, Analysis, AnnotateConfig};
 use levioso_isa::DepSet;
 use std::process::ExitCode;
 

@@ -246,13 +246,14 @@ fn build_function_cfg(
     let mut block_of = BTreeMap::new();
     let mut run_start: Option<u32> = None;
     let mut prev: Option<u32> = None;
-    let close_run = |start: u32, end: u32, blocks: &mut Vec<Block>, block_of: &mut BTreeMap<u32, usize>| {
-        let id = blocks.len();
-        for i in start..end {
-            block_of.insert(i, id);
-        }
-        blocks.push(Block { start, end, succs: Vec::new(), preds: Vec::new() });
-    };
+    let close_run =
+        |start: u32, end: u32, blocks: &mut Vec<Block>, block_of: &mut BTreeMap<u32, usize>| {
+            let id = blocks.len();
+            for i in start..end {
+                block_of.insert(i, id);
+            }
+            blocks.push(Block { start, end, succs: Vec::new(), preds: Vec::new() });
+        };
     for &i in claimed {
         let discontinuous = prev.is_some_and(|p| p + 1 != i);
         if run_start.is_some() && (discontinuous || leaders.contains(&i)) {
@@ -299,13 +300,14 @@ fn build_function_cfg(
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (bi, b) in blocks.iter().enumerate() {
         let t = b.terminator();
-        let link = |to: Option<u32>, edges: &mut Vec<(usize, usize)>, analyzable: &mut bool| match to {
-            Some(i) => match block_of.get(&i) {
-                Some(&tb) => edges.push((bi, tb)),
-                None => *analyzable = false, // leaves the function
-            },
-            None => edges.push((bi, exit)),
-        };
+        let link =
+            |to: Option<u32>, edges: &mut Vec<(usize, usize)>, analyzable: &mut bool| match to {
+                Some(i) => match block_of.get(&i) {
+                    Some(&tb) => edges.push((bi, tb)),
+                    None => *analyzable = false, // leaves the function
+                },
+                None => edges.push((bi, exit)),
+            };
         match flow_of(&program.instrs[t as usize]) {
             Flow::Fallthrough | Flow::CallReturnsTo => {
                 link(Some(t + 1), &mut edges, &mut analyzable)

@@ -31,8 +31,7 @@ impl ControlDeps {
     /// Branch *instruction indices* (sorted) that `block` transitively
     /// depends on.
     pub fn deps_of_block(&self, block: usize) -> Vec<u32> {
-        let mut v: Vec<u32> =
-            self.block_deps[block].iter().map(|b| self.branches[b].1).collect();
+        let mut v: Vec<u32> = self.block_deps[block].iter().map(|b| self.branches[b].1).collect();
         v.sort_unstable();
         v
     }

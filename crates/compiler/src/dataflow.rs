@@ -114,7 +114,13 @@ impl ReachingDefs {
     /// # Panics
     ///
     /// Panics if `instr` does not belong to the analyzed function.
-    pub fn reaching_at(&self, cfg: &FunctionCfg, _program: &Program, instr: u32, reg: Reg) -> Vec<usize> {
+    pub fn reaching_at(
+        &self,
+        cfg: &FunctionCfg,
+        _program: &Program,
+        instr: u32,
+        reg: Reg,
+    ) -> Vec<usize> {
         if reg.is_zero() {
             return Vec::new();
         }

@@ -79,17 +79,11 @@ impl Codegen {
     }
 
     fn var(&self, name: &str) -> Result<Reg, LeviError> {
-        self.vars
-            .get(name)
-            .copied()
-            .ok_or_else(|| LeviError::UndefinedVariable(name.to_string()))
+        self.vars.get(name).copied().ok_or_else(|| LeviError::UndefinedVariable(name.to_string()))
     }
 
     fn array_base(&self, name: &str) -> Result<u64, LeviError> {
-        self.arrays
-            .get(name)
-            .copied()
-            .ok_or_else(|| LeviError::UndefinedArray(name.to_string()))
+        self.arrays.get(name).copied().ok_or_else(|| LeviError::UndefinedArray(name.to_string()))
     }
 
     /// Evaluates `e` into a freshly-allocated temporary and returns it.
@@ -251,19 +245,13 @@ impl Codegen {
                 self.b.label(&end_l);
             }
             Stmt::Break => {
-                let (_, brk) = self
-                    .loop_stack
-                    .last()
-                    .cloned()
-                    .ok_or(LeviError::BreakOutsideLoop)?;
+                let (_, brk) =
+                    self.loop_stack.last().cloned().ok_or(LeviError::BreakOutsideLoop)?;
                 self.b.j(&brk);
             }
             Stmt::Continue => {
-                let (cont, _) = self
-                    .loop_stack
-                    .last()
-                    .cloned()
-                    .ok_or(LeviError::ContinueOutsideLoop)?;
+                let (cont, _) =
+                    self.loop_stack.last().cloned().ok_or(LeviError::ContinueOutsideLoop)?;
                 self.b.j(&cont);
             }
             Stmt::Call(name) => {

@@ -32,10 +32,8 @@ pub fn eval(
     max_steps: u64,
 ) -> Result<EvalState, LeviError> {
     let mut st = EvalState { memory: initial_memory.clone(), ..Default::default() };
-    let arrays: BTreeMap<&str, u64> =
-        ast.arrays.iter().map(|(n, b)| (n.as_str(), *b)).collect();
-    let consts: BTreeMap<&str, i64> =
-        ast.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let arrays: BTreeMap<&str, u64> = ast.arrays.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let consts: BTreeMap<&str, i64> = ast.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     let functions: BTreeMap<&str, &[Stmt]> =
         ast.functions.iter().map(|(n, b)| (n.as_str(), b.as_slice())).collect();
     let ctx = Ctx { arrays: &arrays, consts: &consts, functions: &functions };
@@ -135,9 +133,7 @@ fn eval_expr(e: &Expr, ctx: &Ctx<'_>, st: &mut EvalState) -> Result<i64, LeviErr
             if let Some(&c) = ctx.consts.get(name.as_str()) {
                 c
             } else {
-                *st.vars
-                    .get(name)
-                    .ok_or_else(|| LeviError::UndefinedVariable(name.clone()))?
+                *st.vars.get(name).ok_or_else(|| LeviError::UndefinedVariable(name.clone()))?
             }
         }
         Expr::Index(name, idx) => {
@@ -146,10 +142,7 @@ fn eval_expr(e: &Expr, ctx: &Ctx<'_>, st: &mut EvalState) -> Result<i64, LeviErr
                 .get(name.as_str())
                 .ok_or_else(|| LeviError::UndefinedArray(name.clone()))?;
             let i = eval_expr(idx, ctx, st)?;
-            st.memory
-                .get(&base.wrapping_add((i as u64) << 3))
-                .copied()
-                .unwrap_or(0)
+            st.memory.get(&base.wrapping_add((i as u64) << 3)).copied().unwrap_or(0)
         }
         Expr::Neg(inner) => eval_expr(inner, ctx, st)?.wrapping_neg(),
         Expr::Not(inner) => i64::from(eval_expr(inner, ctx, st)? == 0),

@@ -72,7 +72,8 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, (usize, String)> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -97,7 +98,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, (usize, String)> {
             let text = if radix == 16 { &body } else { &source[start..i].replace('_', "") };
             let value = i64::from_str_radix(text, radix)
                 .or_else(|_| u64::from_str_radix(text, radix).map(|v| v as i64))
-                .map_err(|_| (line, format!("malformed integer literal `{}`", &source[start..i])))?;
+                .map_err(|_| {
+                    (line, format!("malformed integer literal `{}`", &source[start..i]))
+                })?;
             out.push(Spanned { tok: Tok::Int(value), line });
             continue;
         }

@@ -382,10 +382,7 @@ mod tests {
 
     #[test]
     fn break_outside_loop_is_an_error() {
-        assert!(matches!(
-            compile("t", "fn main() { break; }"),
-            Err(LeviError::BreakOutsideLoop)
-        ));
+        assert!(matches!(compile("t", "fn main() { break; }"), Err(LeviError::BreakOutsideLoop)));
         assert!(matches!(
             compile("t", "fn main() { if (1) { continue; } }"),
             Err(LeviError::ContinueOutsideLoop)
@@ -457,11 +454,8 @@ mod tests {
         .unwrap();
         let ann = p.annotations.as_ref().unwrap();
         // Find the guard branch and the callee's load.
-        let branch = p
-            .instrs
-            .iter()
-            .position(|i| i.is_branch())
-            .expect("guard branch exists") as u32;
+        let branch =
+            p.instrs.iter().position(|i| i.is_branch()).expect("guard branch exists") as u32;
         let callee_entry = p.label(".fn_work").expect("procedure label");
         let mut saw_callee_instr = false;
         for (i, set) in ann.iter() {

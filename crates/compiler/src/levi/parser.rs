@@ -403,10 +403,8 @@ mod tests {
 
     #[test]
     fn else_if_chain() {
-        let p = parse(
-            "fn main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }",
-        )
-        .unwrap();
+        let p = parse("fn main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }")
+            .unwrap();
         let Stmt::If(_, _, els) = &p.body[0] else { panic!() };
         assert_eq!(els.len(), 1);
         assert!(matches!(&els[0], Stmt::If(..)));

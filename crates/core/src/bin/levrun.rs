@@ -107,8 +107,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let schemes: Vec<Scheme> =
-        if compare { Scheme::ALL.to_vec() } else { vec![scheme] };
+    let schemes: Vec<Scheme> = if compare { Scheme::ALL.to_vec() } else { vec![scheme] };
     println!(
         "{:<18} {:>10} {:>7} {:>6} {:>8} {:>9} {:>9}",
         "scheme", "cycles", "IPC", "MPKI", "L1 miss%", "delayed", "transient"

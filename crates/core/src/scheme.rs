@@ -5,9 +5,7 @@ use crate::baselines::{CommitDelay, DelayOnMiss, ExecuteDelay, Fence, Stt};
 use crate::levioso::{Levioso, LeviosoVariant};
 use levioso_compiler::{annotate_with, AnnotateConfig};
 use levioso_isa::Program;
-use levioso_uarch::{
-    CoreConfig, SimError, SimStats, Simulator, SpeculationPolicy, UnsafeBaseline,
-};
+use levioso_uarch::{CoreConfig, SimError, SimStats, Simulator, SpeculationPolicy, UnsafeBaseline};
 
 /// Every scheme in the evaluation, including ablation variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

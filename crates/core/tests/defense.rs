@@ -342,10 +342,7 @@ fn stt_blocks_tainted_transmit_but_not_architectural_secrets() {
         sim.hierarchy().contains(0x80_0000 + (7 << 6))
     };
     assert!(run_ct(Scheme::Unsafe), "unsafe leaks the architectural secret");
-    assert!(
-        run_ct(Scheme::Stt),
-        "stt does NOT cover non-speculatively loaded secrets (by design)"
-    );
+    assert!(run_ct(Scheme::Stt), "stt does NOT cover non-speculatively loaded secrets (by design)");
     assert!(!run_ct(Scheme::Levioso), "levioso is comprehensive: blocked");
     assert!(!run_ct(Scheme::ExecuteDelay), "execute-delay is comprehensive: blocked");
 }

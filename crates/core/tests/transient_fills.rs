@@ -24,7 +24,8 @@ fn transient_fills(w: &levioso_workloads::Workload, scheme: Scheme) -> u64 {
 #[test]
 fn delay_schemes_leave_zero_transient_fills() {
     for w in suite(Scale::Smoke) {
-        for scheme in [Scheme::Fence, Scheme::CommitDelay, Scheme::ExecuteDelay, Scheme::DelayOnMiss]
+        for scheme in
+            [Scheme::Fence, Scheme::CommitDelay, Scheme::ExecuteDelay, Scheme::DelayOnMiss]
         {
             assert_eq!(
                 transient_fills(&w, scheme),

@@ -96,9 +96,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
 
     let mut program = Program::new(name, instrs);
     program.labels = labels;
-    program
-        .validate()
-        .map_err(|e| AsmError::new(0, AsmErrorKind::Invalid(e.to_string())))?;
+    program.validate().map_err(|e| AsmError::new(0, AsmErrorKind::Invalid(e.to_string())))?;
     Ok(program)
 }
 
@@ -173,7 +171,12 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
     };
 
     let alu_rr = |op: AluOp, ops: &[&str]| -> Result<PendingInstr, AsmError> {
-        Ok(PendingInstr::Ready(Instr::Alu { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, rs2: reg(ops[2])? }))
+        Ok(PendingInstr::Ready(Instr::Alu {
+            op,
+            rd: reg(ops[0])?,
+            rs1: reg(ops[1])?,
+            rs2: reg(ops[2])?,
+        }))
     };
     let alu_ri = |op: AluOp, ops: &[&str]| -> Result<PendingInstr, AsmError> {
         Ok(PendingInstr::Ready(Instr::AluImm {
@@ -195,11 +198,15 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
         let (a, b) = if swap { (ops[1], ops[0]) } else { (ops[0], ops[1]) };
         Ok(PendingInstr::Branch { cond: c, rs1: reg(a)?, rs2: reg(b)?, target: target(ops[2]) })
     };
-    let branch_z = |c: BranchCond, ops: &[&str], zero_first: bool| -> Result<PendingInstr, AsmError> {
-        let (rs1, rs2) =
-            if zero_first { (crate::reg::ZERO, reg(ops[0])?) } else { (reg(ops[0])?, crate::reg::ZERO) };
-        Ok(PendingInstr::Branch { cond: c, rs1, rs2, target: target(ops[1]) })
-    };
+    let branch_z =
+        |c: BranchCond, ops: &[&str], zero_first: bool| -> Result<PendingInstr, AsmError> {
+            let (rs1, rs2) = if zero_first {
+                (crate::reg::ZERO, reg(ops[0])?)
+            } else {
+                (reg(ops[0])?, crate::reg::ZERO)
+            };
+            Ok(PendingInstr::Branch { cond: c, rs1, rs2, target: target(ops[1]) })
+        };
 
     use AluOp::*;
     use BranchCond::*;
@@ -252,11 +259,21 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
         }
         "mv" => {
             arity(2)?;
-            Ok(PendingInstr::Ready(Instr::AluImm { op: Add, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 }))
+            Ok(PendingInstr::Ready(Instr::AluImm {
+                op: Add,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 0,
+            }))
         }
         "not" => {
             arity(2)?;
-            Ok(PendingInstr::Ready(Instr::AluImm { op: Xor, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: -1 }))
+            Ok(PendingInstr::Ready(Instr::AluImm {
+                op: Xor,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: -1,
+            }))
         }
         "neg" => {
             arity(2)?;
@@ -269,7 +286,12 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
         }
         "seqz" => {
             arity(2)?;
-            Ok(PendingInstr::Ready(Instr::AluImm { op: Sltu, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 1 }))
+            Ok(PendingInstr::Ready(Instr::AluImm {
+                op: Sltu,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 1,
+            }))
         }
         "snez" => {
             arity(2)?;
@@ -280,33 +302,114 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
                 rs2: reg(ops[1])?,
             }))
         }
-        "lb" => { arity(2)?; load(B, true, &ops) }
-        "lbu" => { arity(2)?; load(B, false, &ops) }
-        "lh" => { arity(2)?; load(H, true, &ops) }
-        "lhu" => { arity(2)?; load(H, false, &ops) }
-        "lw" => { arity(2)?; load(W, true, &ops) }
-        "lwu" => { arity(2)?; load(W, false, &ops) }
-        "ld" => { arity(2)?; load(D, true, &ops) }
-        "sb" => { arity(2)?; store(B, &ops) }
-        "sh" => { arity(2)?; store(H, &ops) }
-        "sw" => { arity(2)?; store(W, &ops) }
-        "sd" => { arity(2)?; store(D, &ops) }
-        "beq" => { arity(3)?; branch(Eq, &ops, false) }
-        "bne" => { arity(3)?; branch(Ne, &ops, false) }
-        "blt" => { arity(3)?; branch(Lt, &ops, false) }
-        "bge" => { arity(3)?; branch(Ge, &ops, false) }
-        "bltu" => { arity(3)?; branch(Ltu, &ops, false) }
-        "bgeu" => { arity(3)?; branch(Geu, &ops, false) }
-        "bgt" => { arity(3)?; branch(Lt, &ops, true) }
-        "ble" => { arity(3)?; branch(Ge, &ops, true) }
-        "bgtu" => { arity(3)?; branch(Ltu, &ops, true) }
-        "bleu" => { arity(3)?; branch(Geu, &ops, true) }
-        "beqz" => { arity(2)?; branch_z(Eq, &ops, false) }
-        "bnez" => { arity(2)?; branch_z(Ne, &ops, false) }
-        "bltz" => { arity(2)?; branch_z(Lt, &ops, false) }
-        "bgez" => { arity(2)?; branch_z(Ge, &ops, false) }
-        "bgtz" => { arity(2)?; branch_z(Lt, &ops, true) }
-        "blez" => { arity(2)?; branch_z(Ge, &ops, true) }
+        "lb" => {
+            arity(2)?;
+            load(B, true, &ops)
+        }
+        "lbu" => {
+            arity(2)?;
+            load(B, false, &ops)
+        }
+        "lh" => {
+            arity(2)?;
+            load(H, true, &ops)
+        }
+        "lhu" => {
+            arity(2)?;
+            load(H, false, &ops)
+        }
+        "lw" => {
+            arity(2)?;
+            load(W, true, &ops)
+        }
+        "lwu" => {
+            arity(2)?;
+            load(W, false, &ops)
+        }
+        "ld" => {
+            arity(2)?;
+            load(D, true, &ops)
+        }
+        "sb" => {
+            arity(2)?;
+            store(B, &ops)
+        }
+        "sh" => {
+            arity(2)?;
+            store(H, &ops)
+        }
+        "sw" => {
+            arity(2)?;
+            store(W, &ops)
+        }
+        "sd" => {
+            arity(2)?;
+            store(D, &ops)
+        }
+        "beq" => {
+            arity(3)?;
+            branch(Eq, &ops, false)
+        }
+        "bne" => {
+            arity(3)?;
+            branch(Ne, &ops, false)
+        }
+        "blt" => {
+            arity(3)?;
+            branch(Lt, &ops, false)
+        }
+        "bge" => {
+            arity(3)?;
+            branch(Ge, &ops, false)
+        }
+        "bltu" => {
+            arity(3)?;
+            branch(Ltu, &ops, false)
+        }
+        "bgeu" => {
+            arity(3)?;
+            branch(Geu, &ops, false)
+        }
+        "bgt" => {
+            arity(3)?;
+            branch(Lt, &ops, true)
+        }
+        "ble" => {
+            arity(3)?;
+            branch(Ge, &ops, true)
+        }
+        "bgtu" => {
+            arity(3)?;
+            branch(Ltu, &ops, true)
+        }
+        "bleu" => {
+            arity(3)?;
+            branch(Geu, &ops, true)
+        }
+        "beqz" => {
+            arity(2)?;
+            branch_z(Eq, &ops, false)
+        }
+        "bnez" => {
+            arity(2)?;
+            branch_z(Ne, &ops, false)
+        }
+        "bltz" => {
+            arity(2)?;
+            branch_z(Lt, &ops, false)
+        }
+        "bgez" => {
+            arity(2)?;
+            branch_z(Ge, &ops, false)
+        }
+        "bgtz" => {
+            arity(2)?;
+            branch_z(Lt, &ops, true)
+        }
+        "blez" => {
+            arity(2)?;
+            branch_z(Ge, &ops, true)
+        }
         "j" => {
             arity(1)?;
             Ok(PendingInstr::Jal { rd: crate::reg::ZERO, target: target(ops[0]) })
@@ -333,11 +436,19 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
         },
         "jr" => {
             arity(1)?;
-            Ok(PendingInstr::Ready(Instr::Jalr { rd: crate::reg::ZERO, base: reg(ops[0])?, offset: 0 }))
+            Ok(PendingInstr::Ready(Instr::Jalr {
+                rd: crate::reg::ZERO,
+                base: reg(ops[0])?,
+                offset: 0,
+            }))
         }
         "ret" => {
             arity(0)?;
-            Ok(PendingInstr::Ready(Instr::Jalr { rd: crate::reg::ZERO, base: crate::reg::RA, offset: 0 }))
+            Ok(PendingInstr::Ready(Instr::Jalr {
+                rd: crate::reg::ZERO,
+                base: crate::reg::RA,
+                offset: 0,
+            }))
         }
         "rdcycle" => {
             arity(1)?;
@@ -348,9 +459,18 @@ fn parse_instr(lineno: usize, text: &str) -> Result<PendingInstr, AsmError> {
             let (offset, base) = mem(ops[0])?;
             Ok(PendingInstr::Ready(Instr::Flush { base, offset }))
         }
-        "fence" => { arity(0)?; Ok(PendingInstr::Ready(Instr::Fence)) }
-        "nop" => { arity(0)?; Ok(PendingInstr::Ready(Instr::Nop)) }
-        "halt" => { arity(0)?; Ok(PendingInstr::Ready(Instr::Halt)) }
+        "fence" => {
+            arity(0)?;
+            Ok(PendingInstr::Ready(Instr::Fence))
+        }
+        "nop" => {
+            arity(0)?;
+            Ok(PendingInstr::Ready(Instr::Nop))
+        }
+        "halt" => {
+            arity(0)?;
+            Ok(PendingInstr::Ready(Instr::Halt))
+        }
         _ => err(AsmErrorKind::UnknownMnemonic(mnemonic)),
     }
 }
@@ -498,10 +618,7 @@ mod tests {
             p.instrs[0],
             Instr::Load { width: MemWidth::D, signed: true, rd: T0, base: SP, offset: 16 }
         );
-        assert_eq!(
-            p.instrs[1],
-            Instr::Store { width: MemWidth::D, src: T0, base: A0, offset: -8 }
-        );
+        assert_eq!(p.instrs[1], Instr::Store { width: MemWidth::D, src: T0, base: A0, offset: -8 });
         assert_eq!(
             p.instrs[2],
             Instr::Load { width: MemWidth::W, signed: true, rd: T1, base: A2, offset: 0 }
@@ -510,11 +627,9 @@ mod tests {
 
     #[test]
     fn pseudo_expansion() {
-        let p = assemble(
-            "t",
-            "mv a0, a1\nnot t0, t1\nneg t2, t3\nseqz a2, a3\nsnez a4, a5\nret\nhalt",
-        )
-        .unwrap();
+        let p =
+            assemble("t", "mv a0, a1\nnot t0, t1\nneg t2, t3\nseqz a2, a3\nsnez a4, a5\nret\nhalt")
+                .unwrap();
         assert_eq!(p.instrs[0], Instr::AluImm { op: AluOp::Add, rd: A0, rs1: A1, imm: 0 });
         assert_eq!(p.instrs[1], Instr::AluImm { op: AluOp::Xor, rd: T0, rs1: T1, imm: -1 });
         assert_eq!(p.instrs[2], Instr::Alu { op: AluOp::Sub, rd: T2, rs1: ZERO, rs2: T3 });
@@ -536,7 +651,8 @@ mod tests {
 
     #[test]
     fn immediates() {
-        let p = assemble("t", "li a0, 0x10\nli a1, -0x10\nli a2, 0b101\nli a3, 1_000\nhalt").unwrap();
+        let p =
+            assemble("t", "li a0, 0x10\nli a1, -0x10\nli a2, 0b101\nli a3, 1_000\nhalt").unwrap();
         let imm = |i: usize| match p.instrs[i] {
             Instr::AluImm { imm, .. } => imm,
             _ => unreachable!(),

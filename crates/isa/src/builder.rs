@@ -130,7 +130,14 @@ impl ProgramBuilder {
     }
 
     /// Emits a load of the given width.
-    pub fn load(&mut self, width: MemWidth, signed: bool, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+    pub fn load(
+        &mut self,
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        base: Reg,
+        offset: i64,
+    ) -> &mut Self {
         self.emit(Instr::Load { width, signed, rd, base, offset })
     }
 
@@ -360,11 +367,8 @@ mod tests {
         b.bnez(A0, "top");
         b.halt();
         let built = b.build().unwrap();
-        let assembled = crate::assemble(
-            "t",
-            "li a0, 7\ntop:\naddi a0, a0, -1\nbnez a0, top\nhalt",
-        )
-        .unwrap();
+        let assembled =
+            crate::assemble("t", "li a0, 7\ntop:\naddi a0, a0, -1\nbnez a0, top\nhalt").unwrap();
         assert_eq!(built.instrs, assembled.instrs);
     }
 

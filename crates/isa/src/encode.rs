@@ -174,7 +174,14 @@ fn cond_from(funct: u64) -> Result<BranchCond, DecodeError> {
     })
 }
 
-fn pack(opcode: u64, rd: u64, rs1: u64, rs2: u64, funct: u64, imm: i64) -> Result<u64, EncodeError> {
+fn pack(
+    opcode: u64,
+    rd: u64,
+    rs1: u64,
+    rs2: u64,
+    funct: u64,
+    imm: i64,
+) -> Result<u64, EncodeError> {
     if !(IMM_MIN..=IMM_MAX).contains(&imm) {
         return Err(EncodeError::ImmediateRange { imm });
     }
@@ -250,15 +257,10 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
     let funct = (word >> 21) & 0x7;
     let imm = unpack_imm(word);
     Ok(match opcode {
-        OP_ALU => {
-            Instr::Alu { op: alu_from_code(imm as u64 & 1, funct)?, rd, rs1, rs2 }
+        OP_ALU => Instr::Alu { op: alu_from_code(imm as u64 & 1, funct)?, rd, rs1, rs2 },
+        OP_ALU_IMM => {
+            Instr::AluImm { op: alu_from_code(rs2.index() as u64 & 1, funct)?, rd, rs1, imm }
         }
-        OP_ALU_IMM => Instr::AluImm {
-            op: alu_from_code(rs2.index() as u64 & 1, funct)?,
-            rd,
-            rs1,
-            imm,
-        },
         OP_LOAD | OP_LOAD_U => Instr::Load {
             width: width_from(funct)?,
             signed: opcode == OP_LOAD,
@@ -297,10 +299,7 @@ pub fn encode_program(program: &crate::Program) -> Result<Vec<u64>, EncodeError>
 ///
 /// Propagates the first [`DecodeError`].
 pub fn decode_program(name: &str, words: &[u64]) -> Result<crate::Program, DecodeError> {
-    Ok(crate::Program::new(
-        name,
-        words.iter().map(|&w| decode(w)).collect::<Result<Vec<_>, _>>()?,
-    ))
+    Ok(crate::Program::new(name, words.iter().map(|&w| decode(w)).collect::<Result<Vec<_>, _>>()?))
 }
 
 #[cfg(test)]
@@ -319,7 +318,13 @@ mod tests {
         round_trip(Instr::AluImm { op: AluOp::Sra, rd: T0, rs1: T0, imm: -63 });
         round_trip(Instr::AluImm { op: AluOp::Rem, rd: S11, rs1: A7, imm: 12345 });
         round_trip(Instr::Load { width: MemWidth::H, signed: false, rd: A1, base: SP, offset: -8 });
-        round_trip(Instr::Load { width: MemWidth::D, signed: true, rd: A1, base: GP, offset: 1 << 30 });
+        round_trip(Instr::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: A1,
+            base: GP,
+            offset: 1 << 30,
+        });
         round_trip(Instr::Store { width: MemWidth::B, src: T3, base: A4, offset: 4095 });
         round_trip(Instr::Branch { cond: BranchCond::Geu, rs1: A0, rs2: A1, target: 123456 });
         round_trip(Instr::Jal { rd: RA, target: 7 });

@@ -372,7 +372,10 @@ mod tests {
         assert_eq!(AluOp::Sra.eval(-8, 2), -2);
         assert_eq!(AluOp::Slt.eval(-1, 0), 1);
         assert_eq!(AluOp::Sltu.eval(-1, 0), 0);
-        assert_eq!(AluOp::Mulh.eval(i64::MAX, i64::MAX), (((i64::MAX as i128).pow(2)) >> 64) as i64);
+        assert_eq!(
+            AluOp::Mulh.eval(i64::MAX, i64::MAX),
+            (((i64::MAX as i128).pow(2)) >> 64) as i64
+        );
     }
 
     #[test]

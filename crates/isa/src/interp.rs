@@ -126,10 +126,7 @@ impl Machine {
             return Ok(Step::Halted);
         }
         let pc = self.pc;
-        let ins = *program
-            .instrs
-            .get(pc as usize)
-            .ok_or(ExecError::PcOutOfRange { pc })?;
+        let ins = *program.instrs.get(pc as usize).ok_or(ExecError::PcOutOfRange { pc })?;
         let mut next_pc = pc.wrapping_add(1);
         match ins {
             Instr::Alu { op, rd, rs1, rs2 } => {

@@ -55,9 +55,7 @@ pub use asm::{assemble, AsmError, AsmErrorKind};
 pub use builder::{BuildError, ProgramBuilder};
 pub use encode::{decode, decode_program, encode, encode_program, DecodeError, EncodeError};
 pub use instr::{AluOp, BranchCond, Instr, MemWidth, SourceIter};
-pub use interp::{
-    read_memory, write_memory, BranchEvent, ExecError, Machine, RunSummary, Step,
-};
+pub use interp::{read_memory, write_memory, BranchEvent, ExecError, Machine, RunSummary, Step};
 pub use mem::Memory;
 pub use program::{Program, ValidateError};
 pub use reg::Reg;

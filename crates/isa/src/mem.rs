@@ -154,12 +154,8 @@ impl Memory {
     /// allocated pages in address order, skipping all-zero pages so that
     /// touched-but-zero memory compares equal to untouched memory).
     pub fn fingerprint(&self) -> u64 {
-        let mut keys: Vec<u64> = self
-            .pages
-            .iter()
-            .filter(|(_, p)| p.iter().any(|&b| b != 0))
-            .map(|(&k, _)| k)
-            .collect();
+        let mut keys: Vec<u64> =
+            self.pages.iter().filter(|(_, p)| p.iter().any(|&b| b != 0)).map(|(&k, _)| k).collect();
         keys.sort_unstable();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for k in keys {

@@ -205,11 +205,8 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         let mut p = Program::new("t", vec![branch(2), Instr::Nop, Instr::Halt]);
-        p.annotations = Some(Annotations::new(vec![
-            DepSet::empty(),
-            DepSet::Exact(vec![0]),
-            DepSet::AllOlder,
-        ]));
+        p.annotations =
+            Some(Annotations::new(vec![DepSet::empty(), DepSet::Exact(vec![0]), DepSet::AllOlder]));
         assert_eq!(p.validate(), Ok(()));
     }
 

@@ -176,7 +176,11 @@ impl Figure {
     }
 
     /// Adds a series.
-    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<(String, f64)>) -> &mut Self {
+    pub fn push_series(
+        &mut self,
+        name: impl Into<String>,
+        points: Vec<(String, f64)>,
+    ) -> &mut Self {
         self.series.push(Series { name: name.into(), points });
         self
     }
@@ -191,11 +195,7 @@ impl Figure {
             for (i, (x, _)) in first.points.iter().enumerate() {
                 let mut row = vec![x.clone()];
                 for s in &self.series {
-                    row.push(
-                        s.points
-                            .get(i)
-                            .map_or("-".to_string(), |(_, v)| format!("{v:.3}")),
-                    );
+                    row.push(s.points.get(i).map_or("-".to_string(), |(_, v)| format!("{v:.3}")));
                 }
                 t.push_row(row);
             }
@@ -247,13 +247,13 @@ impl Figure {
             .and_then(Json::as_arr)
             .ok_or_else(|| bad("missing array field `series`"))?;
         for s in series {
-            let name = s
-                .get("name")
-                .and_then(Json::as_str)
-                .ok_or_else(|| bad("series missing `name`"))?;
+            let name =
+                s.get("name").and_then(Json::as_str).ok_or_else(|| bad("series missing `name`"))?;
             let mut points = Vec::new();
-            for point in
-                s.get("points").and_then(Json::as_arr).ok_or_else(|| bad("series missing `points`"))?
+            for point in s
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("series missing `points`"))?
             {
                 let pair = point.as_arr().filter(|p| p.len() == 2);
                 let (x, y) = match pair {

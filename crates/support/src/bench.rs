@@ -138,13 +138,11 @@ impl Group<'_> {
             Mode::Bench => self.sample_size,
             Mode::Smoke => 1,
         };
-        let mut b = Bencher { samples, warmup: self.bench.mode == Mode::Bench, timings: Vec::new() };
+        let mut b =
+            Bencher { samples, warmup: self.bench.mode == Mode::Bench, timings: Vec::new() };
         f(&mut b);
-        let full_name = if self.name.is_empty() {
-            id.to_string()
-        } else {
-            format!("{}/{id}", self.name)
-        };
+        let full_name =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{id}", self.name) };
         assert!(
             !b.timings.is_empty(),
             "benchmark `{full_name}` never called iter()/iter_batched()"
@@ -197,12 +195,7 @@ fn summarize(timings: &mut [Duration]) -> Stats {
     timings.sort_unstable();
     let n = timings.len();
     let total: Duration = timings.iter().sum();
-    Stats {
-        min: timings[0],
-        median: timings[n / 2],
-        mean: total / n as u32,
-        samples: n,
-    }
+    Stats { min: timings[0], median: timings[n / 2], mean: total / n as u32, samples: n }
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -133,11 +133,7 @@ pub fn run(name: &str, config: &Config, property: impl Fn(&mut Gen)) {
 
 /// Like [`run`], but returns the failure report instead of panicking —
 /// the hook the harness's own self-tests use.
-pub fn try_run(
-    name: &str,
-    config: &Config,
-    property: impl Fn(&mut Gen),
-) -> Result<(), String> {
+pub fn try_run(name: &str, config: &Config, property: impl Fn(&mut Gen)) -> Result<(), String> {
     for case in 0..config.cases {
         let case_seed = config.case_seed(case);
         let mut g = Gen::from_seed(case_seed);

@@ -368,13 +368,11 @@ impl<'a> Parser<'a> {
                                 if !(0xdc00..0xe000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
                                 char::from_u32(cp)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                             continue; // hex4 already advanced past the digits

@@ -12,6 +12,7 @@
 //! | [`json`] | `serde`/`serde_json` | a small JSON value type with emit + parse |
 //! | [`check`] | `proptest` | seeded generators, an iteration budget, failing-input reports |
 //! | [`bench`] | `criterion` | a wall-clock benchmark runner with a compatible surface |
+//! | [`pool`] | `rayon` | a scoped worker pool with order-stable, panic-transparent fan-out |
 //!
 //! All randomness is deterministic: the same seed always reproduces the
 //! same stream, on every platform, so property tests and workload inputs
@@ -23,9 +24,11 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
-pub use bench::{Bench, BatchSize, Bencher};
+pub use bench::{BatchSize, Bench, Bencher};
 pub use check::{Config, Gen};
 pub use json::{Json, JsonError};
+pub use pool::Pool;
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

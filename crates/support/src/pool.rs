@@ -1,0 +1,209 @@
+//! A scoped worker pool for deterministic fan-out.
+//!
+//! Replaces `rayon` for the workspace's narrow need: run a fixed list of
+//! independent jobs across `N` OS threads and collect the results **in job
+//! order**, so aggregation downstream is bit-identical no matter how many
+//! threads ran or which finished first.
+//!
+//! Design constraints (see DESIGN.md, "Hermetic build policy"):
+//!
+//! * no external crates — built on [`std::thread::scope`];
+//! * deterministic results: job `i`'s output lands in slot `i`, full stop.
+//!   Nothing downstream can observe completion order;
+//! * panic transparency: a panic inside a job is re-raised on the calling
+//!   thread with its original payload once all workers have drained, so a
+//!   failing cell in a parallel sweep reports exactly like a serial one;
+//! * `threads == 1` runs inline on the caller (no spawn), which keeps
+//!   single-threaded runs trivially debuggable and free of scheduler noise.
+//!
+//! Scheduling is a shared atomic cursor over the job slice (work stealing
+//! degenerates to round-robin under uniform costs, and long cells never
+//! convoy short ones behind a fixed pre-partition).
+//!
+//! ```
+//! use levioso_support::pool::Pool;
+//!
+//! let squares = Pool::new(4).run(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool owns no threads between calls — each [`Pool::run`] spawns its
+/// workers inside a [`std::thread::scope`] and joins them before
+/// returning, so borrowed jobs and closures need no `'static` bounds.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `threads` workers. Zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// A pool sized by the `LEVIOSO_THREADS` environment variable, falling
+    /// back to the machine's available parallelism (and then to 1).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("LEVIOSO_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Pool::new(threads)
+    }
+
+    /// The worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every job and returns the outputs **in job order**.
+    ///
+    /// `f` receives the job's index alongside the job, so callers can
+    /// look up per-job context (e.g. a pre-split RNG seed) without
+    /// moving it into the job list.
+    ///
+    /// # Panics
+    ///
+    /// If any invocation of `f` panics, the first panic (in job order) is
+    /// re-raised here with its original payload after all workers finish.
+    pub fn run<T, R, F>(&self, jobs: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || jobs.len() == 1 {
+            return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs.len());
+        // Each worker returns its (index, output) pairs; slots are
+        // reassembled by index afterwards, so completion order is invisible.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { break };
+                            done.push((i, f(i, job)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (i, r) in done {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => {
+                        // A worker dies with its panicking job; jobs it had
+                        // already finished are lost with it, and the panic
+                        // index is approximated by its final cursor claim.
+                        panics.push((usize::MAX, payload));
+                    }
+                }
+            }
+        });
+        if let Some((_, payload)) = panics.into_iter().next() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        for threads in [1, 4] {
+            let out: Vec<u64> = Pool::new(threads).run(&[] as &[u64], |_, &x| x);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_job_order_for_any_width() {
+        let jobs: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = jobs.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8, 200] {
+            let got = Pool::new(threads).run(&jobs, |i, &x| {
+                assert_eq!(i, x, "index matches job position");
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(&[5u64], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        Pool::new(7).run(&(0..64usize).collect::<Vec<_>>(), |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).run(&(0..32usize).collect::<Vec<_>>(), |_, &i| {
+                if i == 13 {
+                    panic!("cell 13 exploded");
+                }
+                i
+            });
+        });
+        let payload = result.expect_err("panic must cross the pool boundary");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("cell 13 exploded"), "payload preserved: {message:?}");
+    }
+
+    #[test]
+    fn inline_path_panic_propagates_too() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(1).run(&[0u8], |_, _| panic!("inline boom"));
+        });
+        assert!(result.is_err());
+    }
+}

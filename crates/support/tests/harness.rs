@@ -1,10 +1,12 @@
 //! Integration tests for `levioso-support` from an external crate's point
 //! of view: the `props!` macro surface, PRNG determinism and stream
-//! splitting, the JSON round trip on edge values, and the promised
-//! failing-input report from the property harness.
+//! splitting, the JSON round trip on edge values, the promised
+//! failing-input report from the property harness, the worker pool's
+//! ordering/panic contract, and the benchmark runner's two modes.
 
+use levioso_support::bench::Bench;
 use levioso_support::check::{try_run, Config};
-use levioso_support::{Gen, Json, Rng, SplitMix64, Xoshiro256pp};
+use levioso_support::{Gen, Json, Pool, Rng, SplitMix64, Xoshiro256pp};
 
 levioso_support::props! {
     cases = 64;
@@ -134,4 +136,75 @@ fn reported_replay_seed_reproduces_the_failure() {
     let replay = try_run("x_below_900_replay", &Config::new(1).with_seed(seed), prop)
         .expect_err("replaying the failing seed fails again");
     assert!(replay.contains("case 0/1"), "{replay}");
+}
+
+#[test]
+fn pool_results_are_identical_at_any_width() {
+    // Do enough per-job work that wide pools genuinely interleave.
+    let jobs: Vec<u64> = (0..64).collect();
+    let work = |i: usize, &seed: &u64| {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..1000).fold(i as u64, |acc, _| acc.wrapping_add(rng.next_u64()))
+    };
+    let serial = Pool::new(1).run(&jobs, work);
+    for width in [2, 4, 8, 64] {
+        assert_eq!(Pool::new(width).run(&jobs, work), serial, "width {width}");
+    }
+}
+
+#[test]
+fn pool_handles_an_empty_job_list() {
+    let jobs: Vec<i32> = Vec::new();
+    assert!(Pool::new(8).run(&jobs, |_, &j| j).is_empty());
+}
+
+#[test]
+fn pool_propagates_a_worker_panic_with_its_payload() {
+    let jobs: Vec<usize> = (0..16).collect();
+    let outcome = std::panic::catch_unwind(|| {
+        Pool::new(4).run(&jobs, |_, &j| {
+            if j == 9 {
+                panic!("job {j} failed");
+            }
+            j
+        })
+    });
+    let payload = outcome.expect_err("the worker panic must reach the caller");
+    let text = payload.downcast_ref::<String>().expect("string payload");
+    assert_eq!(text, "job 9 failed");
+}
+
+#[test]
+fn bench_defaults_to_smoke_mode_under_cargo_test() {
+    // cargo test never passes --bench, so each body runs exactly once.
+    let mut bench = Bench::from_args();
+    let mut calls = 0;
+    let mut group = bench.group("harness");
+    group.sample_size(50).bench_function("counted", |b| b.iter(|| calls += 1));
+    group.finish();
+    assert_eq!(calls, 1);
+}
+
+#[test]
+fn bench_full_mode_collects_samples_and_reruns_setup() {
+    let mut bench = Bench::full();
+    let mut setups = 0;
+    let mut runs = 0;
+    bench.bench_function("batched", |b| {
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            levioso_support::bench::BatchSize::SmallInput,
+        )
+    });
+    // Default sample size 20, plus one untimed warmup; every sample gets a
+    // fresh setup product.
+    assert_eq!(runs, 21);
+    assert_eq!(setups, runs);
 }

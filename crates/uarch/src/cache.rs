@@ -109,10 +109,7 @@ impl SetAssocCache {
         if set_lines.len() < self.assoc {
             set_lines.push(Line { tag, stamp: now });
         } else {
-            let victim = set_lines
-                .iter_mut()
-                .min_by_key(|l| l.stamp)
-                .expect("non-empty set");
+            let victim = set_lines.iter_mut().min_by_key(|l| l.stamp).expect("non-empty set");
             *victim = Line { tag, stamp: now };
         }
         false
@@ -223,7 +220,12 @@ mod tests {
 
     fn small() -> SetAssocCache {
         // 4 sets × 2 ways × 64 B lines = 512 B
-        SetAssocCache::new(&CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, hit_latency: 4 })
+        SetAssocCache::new(&CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+        })
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Core and memory-hierarchy configuration (the paper's Table 1).
 
-
 /// Out-of-order core configuration.
 ///
 /// The default mirrors the class of gem5 configuration the paper evaluates
@@ -79,42 +78,57 @@ impl CoreConfig {
     pub fn table_rows(&self) -> Vec<(String, String)> {
         vec![
             ("Pipeline width".into(), format!("{}-wide fetch/commit", self.fetch_width)),
-            ("ROB / IQ / LQ / SQ".into(), format!(
-                "{} / {} / {} / {}",
-                self.rob_size, self.iq_size, self.lq_size, self.sq_size
-            )),
-            ("Functional units".into(), format!(
-                "{} ALU (1 cy), {} MUL ({} cy), {} DIV ({} cy), {} LD + {} ST ports, {} MSHRs",
-                self.alu_count,
-                self.mul_count,
-                self.mul_latency,
-                self.div_count,
-                self.div_latency,
-                self.load_ports,
-                self.store_ports,
-                self.mshr_count
-            )),
-            ("Branch predictor".into(), format!(
-                "gshare {}-bit history, {}-entry BTB, {}-entry RAS, {}-cycle redirect",
-                self.predictor.gshare_history_bits,
-                self.predictor.btb_entries,
-                self.predictor.ras_entries,
-                self.redirect_penalty
-            )),
-            ("L1D".into(), format!(
-                "{} KiB, {}-way, {} B lines, {} cy",
-                self.hierarchy.l1d.size_bytes / 1024,
-                self.hierarchy.l1d.assoc,
-                self.hierarchy.l1d.line_bytes,
-                self.hierarchy.l1d.hit_latency
-            )),
-            ("L2".into(), format!(
-                "{} KiB, {}-way, {} B lines, {} cy",
-                self.hierarchy.l2.size_bytes / 1024,
-                self.hierarchy.l2.assoc,
-                self.hierarchy.l2.line_bytes,
-                self.hierarchy.l2.hit_latency
-            )),
+            (
+                "ROB / IQ / LQ / SQ".into(),
+                format!(
+                    "{} / {} / {} / {}",
+                    self.rob_size, self.iq_size, self.lq_size, self.sq_size
+                ),
+            ),
+            (
+                "Functional units".into(),
+                format!(
+                    "{} ALU (1 cy), {} MUL ({} cy), {} DIV ({} cy), {} LD + {} ST ports, {} MSHRs",
+                    self.alu_count,
+                    self.mul_count,
+                    self.mul_latency,
+                    self.div_count,
+                    self.div_latency,
+                    self.load_ports,
+                    self.store_ports,
+                    self.mshr_count
+                ),
+            ),
+            (
+                "Branch predictor".into(),
+                format!(
+                    "gshare {}-bit history, {}-entry BTB, {}-entry RAS, {}-cycle redirect",
+                    self.predictor.gshare_history_bits,
+                    self.predictor.btb_entries,
+                    self.predictor.ras_entries,
+                    self.redirect_penalty
+                ),
+            ),
+            (
+                "L1D".into(),
+                format!(
+                    "{} KiB, {}-way, {} B lines, {} cy",
+                    self.hierarchy.l1d.size_bytes / 1024,
+                    self.hierarchy.l1d.assoc,
+                    self.hierarchy.l1d.line_bytes,
+                    self.hierarchy.l1d.hit_latency
+                ),
+            ),
+            (
+                "L2".into(),
+                format!(
+                    "{} KiB, {}-way, {} B lines, {} cy",
+                    self.hierarchy.l2.size_bytes / 1024,
+                    self.hierarchy.l2.assoc,
+                    self.hierarchy.l2.line_bytes,
+                    self.hierarchy.l2.hit_latency
+                ),
+            ),
             ("DRAM".into(), format!("{} cy", self.hierarchy.dram_latency)),
         ]
     }
@@ -192,12 +206,7 @@ impl Default for HierarchyConfig {
     fn default() -> Self {
         HierarchyConfig {
             l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, hit_latency: 4 },
-            l2: CacheConfig {
-                size_bytes: 1024 * 1024,
-                assoc: 16,
-                line_bytes: 64,
-                hit_latency: 14,
-            },
+            l2: CacheConfig { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, hit_latency: 14 },
             dram_latency: 120,
         }
     }

@@ -558,8 +558,7 @@ impl<'p> Simulator<'p> {
             let mut div = self.config.div_count;
             let mut ld_ports = self.config.load_ports;
             let mut st_ports = self.config.store_ports;
-            let mut mshrs_free =
-                self.config.mshr_count.saturating_sub(self.outstanding_misses);
+            let mut mshrs_free = self.config.mshr_count.saturating_sub(self.outstanding_misses);
             let mut issued = 0usize;
             let mut all_older_done = true;
             let mut serializer_block = false;
@@ -741,8 +740,7 @@ impl<'p> Simulator<'p> {
                                     delayed.push(idx);
                                     continue;
                                 }
-                                let hit_only =
-                                    policy.load_mode(e, &view) == LoadMode::HitOnly;
+                                let hit_only = policy.load_mode(e, &view) == LoadMode::HitOnly;
                                 let is_l1_hit = self.hierarchy.l1d.contains(addr);
                                 if hit_only && !is_l1_hit {
                                     // Delay-on-Miss: must wait instead of

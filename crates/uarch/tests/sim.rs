@@ -264,10 +264,7 @@ fn infinite_loop_hits_cycle_limit() {
     let p = assemble("t", "x: j x\nhalt").unwrap();
     let config = CoreConfig { max_cycles: 10_000, ..CoreConfig::default() };
     let mut sim = Simulator::new(&p, config);
-    assert_eq!(
-        sim.run(&UnsafeBaseline),
-        Err(SimError::CycleLimit { max_cycles: 10_000 })
-    );
+    assert_eq!(sim.run(&UnsafeBaseline), Err(SimError::CycleLimit { max_cycles: 10_000 }));
 }
 
 #[test]
@@ -323,10 +320,7 @@ fn mlp_is_exploited_for_independent_loads() {
     let mut sim = Simulator::new(&p, CoreConfig::default());
     sim.run(&UnsafeBaseline).unwrap();
     let elapsed = sim.reg(S4);
-    assert!(
-        elapsed < 2 * 138,
-        "8 independent misses must overlap; measured {elapsed} cycles"
-    );
+    assert!(elapsed < 2 * 138, "8 independent misses must overlap; measured {elapsed} cycles");
 }
 
 #[test]

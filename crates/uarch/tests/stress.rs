@@ -96,12 +96,8 @@ fn arb_op(g: &mut Gen) -> Op {
 /// Lowers the op list into a halting program: `gp` holds the pool base,
 /// branches only skip forward.
 fn lower(ops: &[Op]) -> Program {
-    let mut instrs: Vec<Instr> = vec![Instr::AluImm {
-        op: AluOp::Add,
-        rd: GP,
-        rs1: ZERO,
-        imm: POOL_BASE,
-    }];
+    let mut instrs: Vec<Instr> =
+        vec![Instr::AluImm { op: AluOp::Add, rd: GP, rs1: ZERO, imm: POOL_BASE }];
     // Pre-lower to know each op's instruction index (1 instr per op).
     let base = instrs.len() as u32;
     let n = ops.len() as u32;

@@ -55,7 +55,8 @@ fn filter_scan(scale: Scale) -> Workload {
     let data = seeded_values("filter_scan", n, -50, 51);
     Workload {
         name: "filter_scan",
-        description: "filtered aggregation: unpredictable data-dependent branch, independent stream",
+        description:
+            "filtered aggregation: unpredictable data-dependent branch, independent stream",
         program: compile("filter_scan", &src),
         memory: place(IN1, &data).collect(),
         checksum_addr: OUT,
@@ -244,10 +245,7 @@ fn hash_join(scale: Scale) -> Workload {
         name: "hash_join",
         description: "hash-join probe: key-compare branches, independent probes",
         program: compile("hash_join", &src),
-        memory: place(IN1, &probe)
-            .chain(place(IN2, &ht_key))
-            .chain(place(AUX1, &ht_val))
-            .collect(),
+        memory: place(IN1, &probe).chain(place(IN2, &ht_key)).chain(place(AUX1, &ht_val)).collect(),
         checksum_addr: OUT,
     }
 }

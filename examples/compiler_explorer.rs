@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, instr) in program.instrs.iter().enumerate() {
         let deps = match annotations.deps_of(i) {
             DepSet::Exact(v) if v.is_empty() => "-".to_string(),
-            DepSet::Exact(v) => v
-                .iter()
-                .map(|d| format!("@{d}"))
-                .collect::<Vec<_>>()
-                .join(","),
+            DepSet::Exact(v) => v.iter().map(|d| format!("@{d}")).collect::<Vec<_>>().join(","),
             DepSet::AllOlder => "ALL-OLDER".to_string(),
         };
         let reconv = if instr.is_branch() {

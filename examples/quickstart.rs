@@ -54,11 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("{:<16} {:>10} {:>8} {:>14}", "scheme", "cycles", "IPC", "slowdown");
-    for (name, s) in [
-        ("unsafe", &unprotected),
-        ("levioso", &levioso),
-        ("execute-delay", &execute_delay),
-    ] {
+    for (name, s) in
+        [("unsafe", &unprotected), ("levioso", &levioso), ("execute-delay", &execute_delay)]
+    {
         println!(
             "{:<16} {:>10} {:>8.2} {:>13.2}x",
             name,
@@ -70,8 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "levioso recovers {:.0}% of the conservative scheme's overhead on this kernel",
-        100.0 * (1.0 - (levioso.cycles - unprotected.cycles) as f64
-            / (execute_delay.cycles - unprotected.cycles).max(1) as f64)
+        100.0
+            * (1.0
+                - (levioso.cycles - unprotected.cycles) as f64
+                    / (execute_delay.cycles - unprotected.cycles).max(1) as f64)
     );
     Ok(())
 }

@@ -43,20 +43,19 @@ fn main() {
             Some(v) => format!("noisy signal (inferred {v})"),
             None => "no signal".to_string(),
         };
-        println!("  {:<12} {:<24} per-set probe totals: {:?}", scheme.name(), verdict, r.set_latencies);
+        println!(
+            "  {:<12} {:<24} per-set probe totals: {:?}",
+            scheme.name(),
+            verdict,
+            r.set_latencies
+        );
     }
 }
 
 fn render_latencies(lat: &[u64], hot: Option<usize>) -> String {
     lat.iter()
         .enumerate()
-        .map(|(i, &l)| {
-            if Some(i) == hot {
-                format!("[{l}]")
-            } else {
-                l.to_string()
-            }
-        })
+        .map(|(i, &l)| if Some(i) == hot { format!("[{l}]") } else { l.to_string() })
         .collect::<Vec<_>>()
         .join(" ")
 }

@@ -5,15 +5,24 @@
 # policy"): every dependency is an in-tree path crate, so everything here
 # runs with --offline and must pass on a machine with no registry access.
 #
-#   1. tier-1 verify:   cargo build --release && cargo test -q
-#   2. offline proof:   full-workspace build of every target with the
-#                       network-facing resolver disabled
-#   3. lint gate:       clippy on all targets, warnings are errors
+#   1. tier-1 verify:     cargo build --release && cargo test -q — first
+#                         and fast, so the basic contract fails early
+#   2. format gate:       rustfmt --check against rustfmt.toml
+#   3. lint gate:         clippy on every workspace target (this compiles
+#                         the full workspace with all targets, so no
+#                         separate workspace build step is needed),
+#                         warnings are errors
+#   4. workspace tests:   unit, property, integration, and doc tests
+#   5. golden gate:       the smoke-tier bench sweep checked against
+#                         results/golden/smoke/ — exits nonzero with a
+#                         per-cell diff on any drift (see README.md "CI")
 #
 # Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+start=$SECONDS
 
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline
@@ -21,13 +30,19 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 
-echo "==> hermetic: full-workspace offline build, all targets"
-cargo build --offline --workspace --all-targets
+echo "==> rustfmt, check only"
+cargo fmt --all --check
+
+echo "==> clippy on all workspace targets, warnings denied"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> full-workspace tests"
 cargo test -q --offline --workspace
 
-echo "==> clippy, warnings denied"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "==> doc tests"
+cargo test -q --offline --workspace --doc
 
-echo "==> OK: hermetic build, tests, and lints all green"
+echo "==> golden gate: smoke-tier sweep vs results/golden/smoke/"
+cargo run -q --release --offline -p levioso-bench --bin all -- --smoke --check
+
+echo "==> OK: build, format, lints, tests, and golden gate all green in $((SECONDS - start))s"

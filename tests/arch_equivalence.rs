@@ -23,8 +23,7 @@ fn arb_expr(g: &mut Gen, depth: u32) -> String {
     if depth == 0 {
         return leaf(g);
     }
-    const BINOPS: [&str; 12] =
-        ["+", "-", "*", "&", "|", "^", "<", ">", "==", "!=", "<=", ">="];
+    const BINOPS: [&str; 12] = ["+", "-", "*", "&", "|", "^", "<", ">", "==", "!=", "<=", ">="];
     const DIVOPS: [&str; 2] = ["/", "%"];
     match g.weighted(&[3, 2, 1, 1]) {
         0 => leaf(g),

@@ -22,8 +22,8 @@ fn facade_pipeline_end_to_end() {
         ",
     )
     .expect("compiles");
-    let stats = run_scheme(&program, Scheme::Levioso, &CoreConfig::default(), |_| {})
-        .expect("runs");
+    let stats =
+        run_scheme(&program, Scheme::Levioso, &CoreConfig::default(), |_| {}).expect("runs");
     assert!(stats.committed > 32 * 5);
     assert!(stats.ipc() > 0.5);
 }
@@ -85,10 +85,7 @@ fn annotation_cap_trades_precision_for_overhead_soundly() {
     // Extension experiment: capping the hint budget coarsens annotations;
     // performance may degrade toward the conservative baseline but results
     // stay correct.
-    let w = suite(Scale::Smoke)
-        .into_iter()
-        .find(|w| w.name == "hash_join")
-        .expect("kernel");
+    let w = suite(Scale::Smoke).into_iter().find(|w| w.name == "hash_join").expect("kernel");
     let expected = w.expected_checksum();
     let mut program = w.program.clone();
     Scheme::Levioso.prepare(&mut program);

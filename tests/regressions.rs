@@ -91,8 +91,5 @@ fn arch_equivalence_regression_nonhalting_program_fails_cleanly() {
 #[test]
 fn arch_equivalence_regression_inner_loop_alone_is_equivalent() {
     let source = "arr a @ 1048576;\nfn main() {\nlet v0 = 0;\nlet v1 = 0;\nlet v2 = 0;\nlet v3 = 0;\nv3 = 0; while (v3 < 1) { v0 = 0; v3 = v3 + 1; }\na[100] = v0; a[101] = v1; a[102] = v2; a[103] = v3;\n}\n";
-    equivalence_checks::check_every_scheme_commits_interpreter_state(
-        source,
-        &NESTED_LOOPS_DATA,
-    );
+    equivalence_checks::check_every_scheme_commits_interpreter_state(source, &NESTED_LOOPS_DATA);
 }

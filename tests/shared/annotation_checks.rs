@@ -41,8 +41,7 @@ pub fn check_static_superset_of_control(source: &str) {
 /// Capping to any budget monotonically coarsens: kept sets are unchanged
 /// and within the cap, and `AllOlder` is never refined.
 pub fn check_capping_coarsens(source: &str) {
-    let mut p =
-        levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
+    let mut p = levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
     annotate_with(&mut p, &AnnotateConfig { static_dataflow: true });
     let a = p.annotations.as_ref().unwrap();
     for cap in [0usize, 1, 2, 4] {
@@ -69,13 +68,11 @@ pub fn check_capping_coarsens(source: &str) {
 /// Real program annotations survive the binary sidecar round trip (after
 /// the documented 14-dependency capping).
 pub fn check_sidecar_round_trip(source: &str) {
-    let mut p =
-        levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
+    let mut p = levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
     annotate_with(&mut p, &AnnotateConfig { static_dataflow: true });
     let capped = p.annotations.as_ref().unwrap().capped(14);
     let bytes = capped.to_bytes();
-    let back =
-        levioso::isa::Annotations::from_bytes(p.len(), &bytes).expect("sidecar decodes");
+    let back = levioso::isa::Annotations::from_bytes(p.len(), &bytes).expect("sidecar decodes");
     assert_eq!(back, capped);
 }
 
@@ -83,8 +80,7 @@ pub fn check_sidecar_round_trip(source: &str) {
 /// instruction is dependency-free, and all dependency sets are sorted and
 /// duplicate-free.
 pub fn check_deps_reference_branches_only(source: &str) {
-    let mut p =
-        levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
+    let mut p = levioso::compiler::levi::compile_unannotated("prop", source).expect("compiles");
     annotate_with(&mut p, &AnnotateConfig::default());
     let a = p.annotations.as_ref().unwrap();
     for (i, set) in a.iter() {
