@@ -9,7 +9,10 @@
 //! ```
 //!
 //! All simulation cells fan out across the sweep pool; results are
-//! bit-identical at any thread count.
+//! bit-identical at any thread count. Every mode additionally writes the
+//! simulator throughput snapshot to `results/BENCH_sim_throughput.json`
+//! (see `levioso_bench::throughput`), preserving any recorded `baseline`
+//! object so the before/after trajectory survives regeneration.
 #[path = "../util.rs"]
 mod util;
 
@@ -35,7 +38,9 @@ fn main() {
     );
 
     if opts.check || opts.bless {
-        gate_mode(&sweep, tier, opts.check, start);
+        let code = gate_mode(&sweep, tier, opts.check, start);
+        write_throughput(&sweep, tier, start);
+        std::process::exit(code);
     }
 
     // Full regeneration, report order. Tables first (cheap), then the
@@ -49,11 +54,13 @@ fn main() {
     util::emit(tier, "table2_security", &t.render(), None);
     let t = levioso_bench::annotation_table(&sweep, tier.scale());
     util::emit(tier, "table3_annotation", &t.render(), None);
+    write_throughput(&sweep, tier, start);
     eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
 }
 
 /// `--check` / `--bless`: compute the shape figures, then gate or record.
-fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> ! {
+/// Returns the process exit code (the caller still has bookkeeping to do).
+fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> i32 {
     let figures = gate::shape_figures(sweep, tier);
     let violations = gate::shape_violations(&figures);
     for v in &violations {
@@ -67,14 +74,11 @@ fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> ! {
             report.cells_checked,
             start.elapsed().as_secs_f64()
         );
-        if !report.is_clean() || !violations.is_empty() {
-            std::process::exit(1);
-        }
-        std::process::exit(0);
+        return if report.is_clean() && violations.is_empty() { 0 } else { 1 };
     }
     if !violations.is_empty() {
         eprintln!("refusing to bless snapshots that violate shape invariants");
-        std::process::exit(1);
+        return 1;
     }
     match gate::bless_figures(&figures, tier) {
         Ok(paths) => {
@@ -86,11 +90,45 @@ fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> ! {
                 paths.len(),
                 start.elapsed().as_secs_f64()
             );
-            std::process::exit(0);
+            0
         }
         Err(e) => {
             eprintln!("failed to write golden snapshots: {e}");
-            std::process::exit(1);
+            1
         }
     }
+}
+
+/// Writes `results/BENCH_sim_throughput.json` from the global meter,
+/// carrying over the `baseline` object of an existing file (if any) so the
+/// recorded before/after comparison survives every regeneration.
+fn write_throughput(sweep: &Sweep, tier: Tier, start: Instant) {
+    let t = sweep.throughput();
+    let path = util::results_dir().join("BENCH_sim_throughput.json");
+    let baseline = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|old| util::json_object_field(&old, "baseline"));
+    let json = util::throughput_json(
+        &t,
+        tier,
+        sweep.threads(),
+        start.elapsed().as_secs_f64(),
+        baseline.as_deref(),
+    );
+    if let Err(e) =
+        std::fs::create_dir_all(util::results_dir()).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        return;
+    }
+    eprintln!(
+        "==> sim throughput: {} cells, {:.1} simulated Mcycles in {:.1}s busy \
+         ({:.0} kilocycles/busy-sec, {:.2} cells/busy-sec) -> {}",
+        t.cells,
+        t.sim_cycles as f64 / 1e6,
+        t.busy_seconds(),
+        t.kilocycles_per_busy_sec(),
+        t.cells_per_busy_sec(),
+        path.display()
+    );
 }

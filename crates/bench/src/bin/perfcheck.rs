@@ -1,0 +1,86 @@
+//! CI validator for the simulator-throughput snapshot.
+//!
+//! Reads `results/BENCH_sim_throughput.json` (written by every `all` run),
+//! validates it, and prints a human summary plus one machine-readable
+//! `PERF ...` line. Exits 1 if the file is missing or malformed — the CI
+//! pipeline runs this right after the smoke golden gate, so a change that
+//! silently stops producing throughput numbers fails the build.
+//!
+//! ```text
+//! perfcheck            # validate + summarize results/BENCH_sim_throughput.json
+//! ```
+#[path = "../util.rs"]
+mod util;
+
+use std::process::exit;
+
+fn main() {
+    let path = util::results_dir().join("BENCH_sim_throughput.json");
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perfcheck: cannot read {}: {e}", path.display());
+            eprintln!(
+                "perfcheck: run the `all` driver first (it writes the snapshot in every mode)"
+            );
+            exit(1);
+        }
+    };
+    if util::json_str_field(&doc, "schema").as_deref() != Some("levioso-sim-throughput/1") {
+        eprintln!("perfcheck: {}: missing or unknown schema field", path.display());
+        exit(1);
+    }
+    let Some(current) = util::json_object_field(&doc, "current") else {
+        eprintln!("perfcheck: {}: no `current` object", path.display());
+        exit(1);
+    };
+    let field = |key: &str| -> f64 {
+        match util::json_num_field(&current, key) {
+            Some(v) if v.is_finite() => v,
+            _ => {
+                eprintln!(
+                    "perfcheck: {}: `current.{key}` missing or not a finite number",
+                    path.display()
+                );
+                exit(1);
+            }
+        }
+    };
+    let tier = util::json_str_field(&current, "tier").unwrap_or_else(|| {
+        eprintln!("perfcheck: {}: `current.tier` missing", path.display());
+        exit(1);
+    });
+    let threads = field("threads");
+    let cells = field("cells");
+    let busy = field("busy_seconds");
+    let wall = field("wall_seconds");
+    let kc = field("kilocycles_per_busy_sec");
+    let cps = field("cells_per_busy_sec");
+    if cells < 1.0 || busy <= 0.0 {
+        eprintln!("perfcheck: {}: snapshot records no simulation work", path.display());
+        exit(1);
+    }
+
+    println!(
+        "sim throughput ({tier} tier, {threads:.0} thread(s)): {cells:.0} cells in {busy:.1}s busy / {wall:.1}s wall"
+    );
+    println!("  {kc:.0} simulated kilocycles per busy-second, {cps:.2} cells per busy-second");
+    if let Some(baseline) = util::json_object_field(&doc, "baseline") {
+        if let (Some(bkc), Some(bcps)) = (
+            util::json_num_field(&baseline, "kilocycles_per_busy_sec"),
+            util::json_num_field(&baseline, "cells_per_busy_sec"),
+        ) {
+            if bkc > 0.0 && bcps > 0.0 {
+                println!(
+                    "  vs recorded baseline: {:.2}x kilocycles/busy-sec, {:.2}x cells/busy-sec",
+                    kc / bkc,
+                    cps / bcps
+                );
+            }
+        }
+    }
+    println!(
+        "PERF tier={tier} threads={threads:.0} cells={cells:.0} busy_seconds={busy:.3} \
+         wall_seconds={wall:.3} kilocycles_per_busy_sec={kc:.3} cells_per_busy_sec={cps:.3}"
+    );
+}

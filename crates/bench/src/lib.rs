@@ -36,17 +36,24 @@ use std::collections::HashMap;
 
 pub mod gate;
 pub mod sweep;
+pub mod throughput;
 
 pub use gate::Tier;
 pub use sweep::Sweep;
+pub use throughput::Throughput;
 
 /// Runs one workload under one scheme/config and returns its statistics.
+///
+/// Reports the cell's simulated work and host busy time to the global
+/// [`throughput`] meter; the timing happens here, inside the worker, so
+/// busy-time rates are comparable across thread counts.
 ///
 /// # Panics
 ///
 /// Panics if the simulation fails or the checksum diverges from the
 /// reference interpreter — an experiment on wrong results is meaningless.
 pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimStats {
+    let cell_start = std::time::Instant::now();
     let mut program = w.program.clone();
     scheme.prepare(&mut program);
     let mut sim = levioso_uarch::Simulator::new(&program, config.clone());
@@ -57,6 +64,7 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     let got = sim.mem.read_i64(w.checksum_addr);
     let expected = w.expected_checksum();
     assert_eq!(got, expected, "{} under {scheme}: checksum mismatch", w.name);
+    throughput::record(stats.cycles, stats.committed, cell_start.elapsed());
     stats
 }
 
@@ -396,6 +404,7 @@ pub fn annotation_cap_figure(sweep: &Sweep, scale: Scale, caps: &[usize]) -> Fig
     let cycles = sweep.map(&cells, |&(cap, w), _rng| match cap {
         None => run_workload(w, Scheme::Unsafe, &config).cycles as f64,
         Some(cap) => {
+            let cell_start = std::time::Instant::now();
             let mut program = w.program.clone();
             Scheme::Levioso.prepare(&mut program);
             let full = program.annotations.clone().expect("annotated");
@@ -411,6 +420,7 @@ pub fn annotation_cap_figure(sweep: &Sweep, scale: Scale, caps: &[usize]) -> Fig
                 "{} cap {cap}: checksum mismatch",
                 w.name
             );
+            throughput::record(stats.cycles, stats.committed, cell_start.elapsed());
             stats.cycles as f64
         }
     });

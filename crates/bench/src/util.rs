@@ -97,6 +97,88 @@ pub fn results_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// Extracts the raw text of a `"key": { ... }` object field from a JSON
+/// document by balanced-brace scan. Sufficient for the flat numeric
+/// objects `BENCH_sim_throughput.json` stores (no `{`/`}` inside strings).
+pub fn json_object_field(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a `"key": "value"` string field (no escape handling — the
+/// throughput snapshot only stores identifier-like strings).
+pub fn json_str_field(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a `"key": <number>` field.
+pub fn json_num_field(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].parse().ok()
+}
+
+/// Renders `results/BENCH_sim_throughput.json`: the current run's
+/// simulator-throughput snapshot plus the preserved `baseline` object (the
+/// pre-change reference recorded by `scripts/perf.sh`; `null` until one is
+/// recorded).
+pub fn throughput_json(
+    t: &levioso_bench::Throughput,
+    tier: Tier,
+    threads: usize,
+    wall_seconds: f64,
+    baseline: Option<&str>,
+) -> String {
+    let current = format!(
+        "{{\n    \"tier\": \"{}\",\n    \"threads\": {},\n    \"cells\": {},\n    \
+         \"sim_cycles\": {},\n    \"retired_instrs\": {},\n    \"busy_seconds\": {:.3},\n    \
+         \"wall_seconds\": {:.3},\n    \"cells_per_busy_sec\": {:.3},\n    \
+         \"kilocycles_per_busy_sec\": {:.3},\n    \"retired_per_busy_sec\": {:.3}\n  }}",
+        tier.name(),
+        threads,
+        t.cells,
+        t.sim_cycles,
+        t.retired,
+        t.busy_seconds(),
+        wall_seconds,
+        t.cells_per_busy_sec(),
+        t.kilocycles_per_busy_sec(),
+        t.retired_per_busy_sec(),
+    );
+    format!(
+        "{{\n  \"schema\": \"levioso-sim-throughput/1\",\n  \"current\": {},\n  \"baseline\": {}\n}}\n",
+        current,
+        baseline.unwrap_or("null"),
+    )
+}
+
 /// Prints a rendered report and, at paper tier, mirrors it (plus optional
 /// JSON) into `results/`. Smoke-tier runs never overwrite the recorded
 /// paper-scale snapshots.

@@ -82,7 +82,7 @@ impl SpeculationPolicy for Stt {
     }
 
     fn may_transmit(&self, instr: &DynInstr, view: &SpecView<'_>) -> Gate {
-        if instr.taint_roots.iter().any(|&r| view.taint_active(r)) {
+        if view.any_taint_active(&instr.taint_roots) {
             Gate::Delay
         } else {
             Gate::Allow

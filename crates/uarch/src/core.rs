@@ -12,15 +12,36 @@
 //! match, and stall on partial overlap — i.e. no memory-dependence
 //! speculation, so Spectre-v4 is out of scope by construction. Stores
 //! write memory and fill the cache at commit only.
+//!
+//! # Hot-path structure
+//!
+//! The scheduling loop is event-driven (see DESIGN.md "Hot path &
+//! performance model") with results bit-identical to the original
+//! full-scan implementation:
+//!
+//! * speculation sets are [`SpecMask`] bitmasks over in-flight slots
+//!   ([`crate::specmask`]) instead of sorted `Vec<Seq>` merges;
+//! * writeback pops a completion min-heap keyed by `(done_cycle, seq)`
+//!   instead of scanning the ROB (eligible completions always carry the
+//!   current cycle, so heap order equals the old seq-order scan);
+//! * completions wake their consumers through intrusive per-producer
+//!   chains built at rename, and issue walks a sorted ready-set of
+//!   operand-ready instructions in seq order (equal to the old ROB-order
+//!   scan priority). While a serializer (`fence`/`rdcycle`) is in flight
+//!   the core falls back to the full scan, which the serializer semantics
+//!   need anyway.
 
 use crate::cache::Hierarchy;
 use crate::config::CoreConfig;
 use crate::dyninstr::{DynInstr, OpState, Operand, Seq, Stage};
 use crate::policy::{Gate, LoadMode, SpecView, SpeculationPolicy};
 use crate::predictor::Predictor;
+use crate::refsets::RefSets;
+use crate::specmask::SlotTable;
 use crate::stats::SimStats;
 use levioso_isa::{read_memory, write_memory, DepSet, Instr, Memory, Program, Reg};
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Register alias table entry.
@@ -45,6 +66,7 @@ struct Fetched {
 
 /// What an issuing instruction will do (decided in a read-only pass,
 /// applied in a mutating pass).
+#[derive(Debug)]
 enum IssueAction {
     /// ALU/branch/jump/serializer/nop/halt: result and (for control) the
     /// actual next PC were computed from ready operands.
@@ -57,6 +79,17 @@ enum IssueAction {
     Flush { idx: usize, addr: u64 },
     /// Store address generation.
     StoreAddr { idx: usize, addr: u64 },
+}
+
+/// Per-cycle execution-unit budget consumed during the issue scan.
+struct IssueUnits {
+    alu: usize,
+    mul: usize,
+    div: usize,
+    ld_ports: usize,
+    st_ports: usize,
+    mshrs_free: usize,
+    issued: usize,
 }
 
 /// Simulation failure.
@@ -131,12 +164,19 @@ pub struct Simulator<'p> {
 
     rat: [RatEntry; Reg::COUNT],
     arch_regs: [i64; Reg::COUNT],
-    /// Unresolved control instructions: seq → (pc, is_indirect).
-    unresolved: BTreeMap<Seq, (u32, bool)>,
+    /// Speculation slots: per-control/per-load state masks (replaces the
+    /// old `unresolved` map and unbounded `resolve_cycle` map).
+    slots: SlotTable,
 
-    /// Resolution cycle of every resolved control instruction (for the F1
-    /// wait accounting).
-    resolve_cycle: std::collections::HashMap<Seq, u64>,
+    /// Dispatched instructions whose operands are ready (stores: base
+    /// ready), in seq order — the issue scan's candidate set.
+    ready: BTreeSet<Seq>,
+    /// Min-heap of pending completions `(done_cycle, seq)`; entries for
+    /// squashed instructions are skipped at pop.
+    completions: BinaryHeap<Reverse<(u64, Seq)>>,
+    /// Serializers currently in the ROB; while non-zero, issue uses the
+    /// full-scan path that serializer semantics require.
+    serializer_count: usize,
 
     next_seq: Seq,
     cycle: u64,
@@ -147,6 +187,15 @@ pub struct Simulator<'p> {
     sq_count: usize,
     stats: SimStats,
     halted: bool,
+
+    // Reused per-cycle scratch buffers (no steady-state allocation).
+    scratch_actions: Vec<IssueAction>,
+    scratch_first_ready: Vec<(usize, bool, bool)>,
+    scratch_delayed: Vec<usize>,
+
+    /// Differential-checking oracle (old Vec-based set semantics), enabled
+    /// by tests via [`Simulator::enable_reference_checking`].
+    refsets: Option<Box<RefSets>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -154,6 +203,7 @@ impl<'p> Simulator<'p> {
     pub fn new(program: &'p Program, config: CoreConfig) -> Self {
         let hierarchy = Hierarchy::new(&config.hierarchy);
         let predictor = Predictor::new(&config.predictor);
+        let slots = SlotTable::new(config.rob_size);
         Simulator {
             program,
             config,
@@ -167,8 +217,10 @@ impl<'p> Simulator<'p> {
             redirect: None,
             rat: [RatEntry::Value(0); Reg::COUNT],
             arch_regs: [0; Reg::COUNT],
-            unresolved: BTreeMap::new(),
-            resolve_cycle: std::collections::HashMap::new(),
+            slots,
+            ready: BTreeSet::new(),
+            completions: BinaryHeap::new(),
+            serializer_count: 0,
             next_seq: 0,
             cycle: 0,
             outstanding_misses: 0,
@@ -177,6 +229,10 @@ impl<'p> Simulator<'p> {
             sq_count: 0,
             stats: SimStats::default(),
             halted: false,
+            scratch_actions: Vec::new(),
+            scratch_first_ready: Vec::new(),
+            scratch_delayed: Vec::new(),
+            refsets: None,
         }
     }
 
@@ -208,6 +264,28 @@ impl<'p> Simulator<'p> {
         &self.stats
     }
 
+    /// Runs the old Vec-based reference set implementation side-by-side
+    /// with the bitmask path, asserting equivalence at every dispatch,
+    /// forward, and commit (differential-testing hook; call before `run`).
+    #[doc(hidden)]
+    pub fn enable_reference_checking(&mut self) {
+        self.refsets = Some(Box::new(RefSets::new()));
+    }
+
+    /// Number of equivalence events the reference oracle checked (0 when
+    /// checking is disabled).
+    #[doc(hidden)]
+    pub fn reference_events_checked(&self) -> u64 {
+        self.refsets.as_ref().map_or(0, |r| r.events_checked)
+    }
+
+    /// `(high-water mark, capacity)` of the speculation slot table
+    /// (bounded-state test hook; capacity is 2 × ROB size).
+    #[doc(hidden)]
+    pub fn spec_slot_watermark(&self) -> (usize, usize) {
+        (self.slots.max_in_use(), self.slots.capacity())
+    }
+
     /// Diagnostic dump of in-flight state (for debugging the simulator
     /// itself; not a stable API).
     #[doc(hidden)]
@@ -226,7 +304,7 @@ impl<'p> Simulator<'p> {
             self.sq_count,
             self.fetch_queue.len()
         );
-        let _ = writeln!(out, "unresolved={:?}", self.unresolved);
+        let _ = writeln!(out, "unresolved={:?}", self.slots.mask_seqs(&self.slots.unresolved));
         for e in &self.rob {
             let _ = writeln!(
                 out,
@@ -324,7 +402,15 @@ impl<'p> Simulator<'p> {
             if e.instr.is_store() {
                 self.sq_count -= 1;
             }
+            if e.is_serializer() {
+                self.serializer_count -= 1;
+            }
             self.account_commit(&e);
+            // The slot outlives the owner until the ROB drains past
+            // `next_seq`, so younger in-flight masks never alias it.
+            if let Some(slot) = e.slot {
+                self.slots.free_commit(slot, self.next_seq);
+            }
             match e.instr {
                 Instr::Store { width, .. } => {
                     let addr = e.mem_addr.expect("committed store has an address");
@@ -380,24 +466,27 @@ impl<'p> Simulator<'p> {
         }
         // F1 headroom: how long past readiness the conservative shadow vs
         // the true dependencies stayed unresolved. (Every control
-        // instruction older than a committed one has resolved, so the map
-        // lookups succeed; squashed stragglers are simply skipped.)
+        // instruction older than a committed one has resolved, and its
+        // slot is unreused while this instruction is in flight, so the
+        // per-slot resolve cycles are valid. Dependencies whose slots were
+        // dropped at store-forwarding carry their contribution in
+        // `fwd_true_wait`.)
+        let mut waits = None;
         if let Some(ready) = e.first_ready_cycle {
-            let wait = |deps: &[Seq], map: &std::collections::HashMap<Seq, u64>| {
-                deps.iter()
-                    .filter_map(|s| map.get(s))
-                    .map(|&r| r.saturating_sub(ready))
-                    .max()
-                    .unwrap_or(0)
-            };
-            let sw = wait(&e.shadow, &self.resolve_cycle);
-            let tw = wait(&e.lev_deps, &self.resolve_cycle);
+            let sw = self.slots.wait_cycles(&e.shadow, ready);
+            let tw = self.slots.wait_cycles(&e.lev_deps, ready).max(e.fwd_true_wait);
             self.stats.shadow_wait_cycles += sw;
             self.stats.true_wait_cycles += tw;
             if e.instr.is_load() {
                 self.stats.loads_shadow_wait_cycles += sw;
                 self.stats.loads_true_wait_cycles += tw;
             }
+            waits = Some((sw, tw));
+        }
+        if self.refsets.is_some() {
+            let mut r = self.refsets.take().expect("checked");
+            r.on_commit(e, waits);
+            self.refsets = Some(r);
         }
     }
 
@@ -406,31 +495,51 @@ impl<'p> Simulator<'p> {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        // Collect completions first; squashes during resolution may remove
-        // younger completions.
-        let done: Vec<Seq> = self
-            .rob
-            .iter()
-            .filter(|e| e.stage == Stage::Executing && e.done_cycle <= self.cycle)
-            .map(|e| e.seq)
-            .collect();
-        for seq in done {
+        // Pop due completions in (cycle, seq) order. Issue always schedules
+        // completion strictly in the future and writeback runs every cycle,
+        // so every due entry carries the current cycle — making heap order
+        // identical to the old seq-order ROB scan. Entries whose owner was
+        // squashed (including by a resolution earlier this same cycle) no
+        // longer resolve through `rob_index` and are skipped.
+        while let Some(&Reverse((done_cycle, seq))) = self.completions.peek() {
+            if done_cycle > self.cycle {
+                break;
+            }
+            self.completions.pop();
             let Some(idx) = self.rob_index(seq) else { continue }; // squashed meanwhile
+            debug_assert_eq!(self.rob[idx].stage, Stage::Executing);
             self.rob[idx].stage = Stage::Done;
             if self.rob[idx].holds_mshr {
                 self.rob[idx].holds_mshr = false;
                 self.outstanding_misses -= 1;
             }
-            let result = self.rob[idx].result;
-            // Wake consumers.
+            if self.rob[idx].instr.is_load() {
+                let slot = self.rob[idx].slot.expect("loads own a slot");
+                self.slots.mark_load_done(slot);
+                if self.refsets.is_some() {
+                    let mut r = self.refsets.take().expect("checked");
+                    r.on_load_done(seq);
+                    self.refsets = Some(r);
+                }
+            }
+            // Wake consumers along this producer's chain.
             if self.rob[idx].instr.dest().is_some() {
-                let v = result.expect("dest implies result");
-                for e in self.rob.iter_mut() {
-                    for op in &mut e.srcs {
-                        if let OpState::Waiting(s) = op.state {
-                            if s == seq {
-                                op.state = OpState::Ready(v);
-                            }
+                let v = self.rob[idx].result.expect("dest implies result");
+                let mut cur = self.rob[idx].wake_head;
+                while let Some((cseq, oi)) = cur {
+                    let cidx = self
+                        .rob_index(cseq)
+                        .expect("squash rebuilds wake chains, so links are live");
+                    let c = &mut self.rob[cidx];
+                    c.srcs[oi as usize].state = OpState::Ready(v);
+                    cur = c.wake_next[oi as usize];
+                    if c.stage == Stage::Dispatched {
+                        let eligible = c.operands_ready()
+                            || (c.instr.is_store()
+                                && c.srcs[0].state.value().is_some()
+                                && c.mem_addr.is_none());
+                        if eligible {
+                            self.ready.insert(cseq);
                         }
                     }
                 }
@@ -443,22 +552,31 @@ impl<'p> Simulator<'p> {
 
     fn resolve_control(&mut self, seq: Seq) {
         let idx = self.rob_index(seq).expect("resolving a live instruction");
-        let e = &self.rob[idx];
-        let pc = e.pc;
-        let actual = e.actual_next.expect("executed control has actual target");
-        let predicted = e.predicted_next;
-        let was_stalling = e.fetch_stalled;
-        let history = e.history_at_predict;
-        let checkpoint = e.checkpoint.clone();
-        let instr = e.instr;
+        let (pc, actual, predicted, was_stalling, history, checkpoint, instr, slot, taken) = {
+            let e = &mut self.rob[idx];
+            (
+                e.pc,
+                e.actual_next.expect("executed control has actual target"),
+                e.predicted_next,
+                e.fetch_stalled,
+                e.history_at_predict,
+                e.checkpoint.take(),
+                e.instr,
+                e.slot.expect("control instructions own a slot"),
+                e.result == Some(1),
+            )
+        };
 
-        self.unresolved.remove(&seq);
-        self.resolve_cycle.insert(seq, self.cycle);
+        self.slots.resolve(slot, self.cycle);
+        if self.refsets.is_some() {
+            let mut r = self.refsets.take().expect("checked");
+            r.on_resolve(seq, self.cycle);
+            self.refsets = Some(r);
+        }
 
         // Train.
         match instr {
             Instr::Branch { .. } => {
-                let taken = self.rob[idx].result == Some(1);
                 self.predictor.train_branch(pc, history, taken);
             }
             Instr::Jalr { rd, base, offset } => {
@@ -484,7 +602,6 @@ impl<'p> Simulator<'p> {
                 self.predictor.restore(&cp);
                 match instr {
                     Instr::Branch { .. } => {
-                        let taken = self.rob[self.rob_index(seq).expect("live")].result == Some(1);
                         self.predictor.update_history(taken);
                     }
                     // A mispredicted return still consumed its RAS entry.
@@ -514,7 +631,14 @@ impl<'p> Simulator<'p> {
             if e.touched_cache {
                 self.stats.transient_fills += 1;
             }
-            self.unresolved.remove(&e.seq);
+            if let Some(slot) = e.slot {
+                // Immediately reusable: every instruction that could hold
+                // this slot's bit is younger and squashed in this event.
+                self.slots.free_squash(slot);
+            }
+            if e.is_serializer() {
+                self.serializer_count -= 1;
+            }
             if e.stage == Stage::Dispatched {
                 self.iq_count -= 1;
             }
@@ -525,11 +649,24 @@ impl<'p> Simulator<'p> {
                 self.sq_count -= 1;
             }
         }
+        // Drop squashed entries from the ready set (stale completion-heap
+        // entries are skipped at pop instead).
+        let _ = self.ready.split_off(&(seq + 1));
+        if self.refsets.is_some() {
+            let mut r = self.refsets.take().expect("checked");
+            r.on_squash_younger(seq);
+            self.refsets = Some(r);
+        }
         self.stats.squashed += self.fetch_queue.len() as u64;
         self.fetch_queue.clear();
-        // Rebuild the register alias table from surviving producers.
+        // Rebuild the register alias table from surviving producers, and
+        // the wakeup chains from surviving waiters (chains may pass
+        // through squashed consumers).
         for r in 1..Reg::COUNT {
             self.rat[r] = RatEntry::Value(self.arch_regs[r]);
+        }
+        for i in 0..self.rob.len() {
+            self.rob[i].wake_head = None;
         }
         for i in 0..self.rob.len() {
             if let Some(rd) = self.rob[i].instr.dest() {
@@ -537,6 +674,17 @@ impl<'p> Simulator<'p> {
                     (Stage::Done, Some(v)) => RatEntry::Value(v),
                     _ => RatEntry::Producer(self.rob[i].seq),
                 };
+            }
+            let cseq = self.rob[i].seq;
+            for oi in 0..self.rob[i].srcs.len() {
+                if let OpState::Waiting(p) = self.rob[i].srcs[oi].state {
+                    let pidx = self
+                        .rob_index(p)
+                        .expect("a surviving consumer's producer is older and survives");
+                    let head = self.rob[pidx].wake_head;
+                    self.rob[i].wake_next[oi] = head;
+                    self.rob[pidx].wake_head = Some((cseq, oi as u8));
+                }
             }
         }
     }
@@ -546,253 +694,68 @@ impl<'p> Simulator<'p> {
     // ------------------------------------------------------------------
 
     fn issue(&mut self, policy: &dyn SpeculationPolicy) {
-        // Phase A: read-only scan deciding what issues this cycle.
-        let mut actions: Vec<IssueAction> = Vec::new();
-        let mut first_ready: Vec<(usize, bool, bool)> = Vec::new();
-        let mut delayed: Vec<usize> = Vec::new();
+        // Phase A: read-only pass deciding what issues this cycle, into
+        // scratch buffers reused across cycles.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let mut first_ready = std::mem::take(&mut self.scratch_first_ready);
+        let mut delayed = std::mem::take(&mut self.scratch_delayed);
+        debug_assert!(actions.is_empty() && first_ready.is_empty() && delayed.is_empty());
 
         {
-            let view = SpecView { unresolved: &self.unresolved, rob: &self.rob };
-            let mut alu = self.config.alu_count;
-            let mut mul = self.config.mul_count;
-            let mut div = self.config.div_count;
-            let mut ld_ports = self.config.load_ports;
-            let mut st_ports = self.config.store_ports;
-            let mut mshrs_free = self.config.mshr_count.saturating_sub(self.outstanding_misses);
-            let mut issued = 0usize;
-            let mut all_older_done = true;
-            let mut serializer_block = false;
-
-            for idx in 0..self.rob.len() {
-                let e = &self.rob[idx];
-                if e.stage != Stage::Dispatched {
-                    if e.stage != Stage::Done {
-                        all_older_done = false;
-                        if e.is_serializer() {
-                            serializer_block = true;
-                        }
+            let view = SpecView { slots: &self.slots, rob: &self.rob };
+            let mut units = IssueUnits {
+                alu: self.config.alu_count,
+                mul: self.config.mul_count,
+                div: self.config.div_count,
+                ld_ports: self.config.load_ports,
+                st_ports: self.config.store_ports,
+                mshrs_free: self.config.mshr_count.saturating_sub(self.outstanding_misses),
+                issued: 0,
+            };
+            if self.serializer_count > 0 {
+                self.issue_scan_serialized(
+                    policy,
+                    &view,
+                    &mut units,
+                    &mut actions,
+                    &mut first_ready,
+                    &mut delayed,
+                );
+            } else {
+                // Fast path: only operand-ready dispatched instructions can
+                // act, and the sorted ready-set walks them in seq order —
+                // the same priority order as the full ROB scan.
+                for &seq in &self.ready {
+                    if units.issued >= self.config.issue_width {
+                        // The full scan continues past this point only to
+                        // track serializers, which are absent here.
+                        break;
                     }
-                    continue;
-                }
-                let older_done = all_older_done;
-                all_older_done = false;
-                if e.is_serializer() {
-                    // Serializers wait for all older instructions and block
-                    // all younger ones until they complete.
-                    if older_done && !serializer_block && issued < self.config.issue_width {
-                        let result = match e.instr {
-                            Instr::RdCycle { .. } => Some(self.cycle as i64),
-                            _ => None,
-                        };
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency: 1,
-                            result,
-                            actual_next: None,
-                        });
-                        issued += 1;
-                    }
-                    serializer_block = true;
-                    continue;
-                }
-                if serializer_block {
-                    continue;
-                }
-                if issued >= self.config.issue_width {
-                    continue; // keep scanning only for serializer tracking
-                }
-
-                // Store address generation needs only the base operand.
-                let is_store = e.instr.is_store();
-                let base_ready = !is_store || e.srcs[0].state.value().is_some();
-                if !(e.operands_ready() || (is_store && base_ready)) {
-                    continue;
-                }
-
-                // Record first-readiness speculation flags (F1) once.
-                if e.operands_ready() && e.ready_while_shadowed.is_none() {
-                    first_ready.push((
+                    let idx = self.rob_index(seq).expect("ready entries are live");
+                    debug_assert_eq!(self.rob[idx].stage, Stage::Dispatched);
+                    self.consider_issue(
+                        policy,
+                        &view,
                         idx,
-                        view.any_unresolved(&e.shadow),
-                        view.any_unresolved(&e.lev_deps),
-                    ));
-                }
-
-                // Universal execute gate.
-                if policy.may_execute(e, &view) == Gate::Delay {
-                    delayed.push(idx);
-                    continue;
-                }
-
-                match e.instr {
-                    Instr::Alu { op, .. } | Instr::AluImm { op, .. } => {
-                        let (unit, latency) = match op {
-                            levioso_isa::AluOp::Mul | levioso_isa::AluOp::Mulh => {
-                                (&mut mul, self.config.mul_latency)
-                            }
-                            levioso_isa::AluOp::Div | levioso_isa::AluOp::Rem => {
-                                (&mut div, self.config.div_latency)
-                            }
-                            _ => (&mut alu, 1),
-                        };
-                        if *unit == 0 {
-                            continue;
-                        }
-                        *unit -= 1;
-                        let a = e.src_value(0);
-                        let b = match e.instr {
-                            Instr::Alu { .. } => e.src_value(1),
-                            Instr::AluImm { imm, .. } => imm,
-                            _ => unreachable!(),
-                        };
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency,
-                            result: Some(op.eval(a, b)),
-                            actual_next: None,
-                        });
-                        issued += 1;
-                    }
-                    Instr::Branch { cond, target, .. } => {
-                        if alu == 0 {
-                            continue;
-                        }
-                        alu -= 1;
-                        let taken = cond.eval(e.src_value(0), e.src_value(1));
-                        let actual = if taken { target } else { e.pc + 1 };
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency: 1,
-                            result: Some(i64::from(taken)),
-                            actual_next: Some(actual),
-                        });
-                        issued += 1;
-                    }
-                    Instr::Jal { .. } => {
-                        if alu == 0 {
-                            continue;
-                        }
-                        alu -= 1;
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency: 1,
-                            result: Some((e.pc + 1) as i64),
-                            actual_next: None, // direct: never mispredicts
-                        });
-                        issued += 1;
-                    }
-                    Instr::Jalr { offset, .. } => {
-                        if alu == 0 {
-                            continue;
-                        }
-                        alu -= 1;
-                        let target = (e.src_value(0).wrapping_add(offset)) as u64 as u32;
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency: 1,
-                            result: Some((e.pc + 1) as i64),
-                            actual_next: Some(target),
-                        });
-                        issued += 1;
-                    }
-                    Instr::Nop | Instr::Halt => {
-                        actions.push(IssueAction::Simple {
-                            idx,
-                            latency: 1,
-                            result: None,
-                            actual_next: None,
-                        });
-                        issued += 1;
-                    }
-                    Instr::Fence | Instr::RdCycle { .. } => unreachable!("handled above"),
-                    Instr::Flush { offset, .. } => {
-                        if ld_ports == 0 {
-                            continue;
-                        }
-                        if policy.may_transmit(e, &view) == Gate::Delay {
-                            delayed.push(idx);
-                            continue;
-                        }
-                        ld_ports -= 1;
-                        let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
-                        actions.push(IssueAction::Flush { idx, addr });
-                        issued += 1;
-                    }
-                    Instr::Load { width, signed, offset, .. } => {
-                        if ld_ports == 0 {
-                            continue;
-                        }
-                        let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
-                        // Memory ordering against older stores.
-                        match self.lsq_check(idx, addr, width) {
-                            LsqVerdict::Blocked => continue,
-                            LsqVerdict::Forward(store_idx) => {
-                                if policy.may_transmit(e, &view) == Gate::Delay {
-                                    delayed.push(idx);
-                                    continue;
-                                }
-                                ld_ports -= 1;
-                                actions.push(IssueAction::Forward { idx, store_idx, addr });
-                                issued += 1;
-                            }
-                            LsqVerdict::Memory => {
-                                if policy.may_transmit(e, &view) == Gate::Delay {
-                                    delayed.push(idx);
-                                    continue;
-                                }
-                                let hit_only = policy.load_mode(e, &view) == LoadMode::HitOnly;
-                                let is_l1_hit = self.hierarchy.l1d.contains(addr);
-                                if hit_only && !is_l1_hit {
-                                    // Delay-on-Miss: must wait instead of
-                                    // filling speculatively.
-                                    delayed.push(idx);
-                                    continue;
-                                }
-                                if !is_l1_hit {
-                                    // A demand miss needs an MSHR.
-                                    if mshrs_free == 0 {
-                                        continue; // structural stall
-                                    }
-                                    mshrs_free -= 1;
-                                }
-                                ld_ports -= 1;
-                                let value = read_memory(&self.mem, addr, width, signed);
-                                actions.push(IssueAction::Access { idx, addr, value, hit_only });
-                                issued += 1;
-                            }
-                        }
-                    }
-                    Instr::Store { .. } => {
-                        if e.mem_addr.is_some() {
-                            continue; // address already generated
-                        }
-                        if st_ports == 0 {
-                            continue;
-                        }
-                        st_ports -= 1;
-                        let offset = match e.instr {
-                            Instr::Store { offset, .. } => offset,
-                            _ => unreachable!(),
-                        };
-                        let base = e.srcs[0].state.value().expect("base checked ready");
-                        let addr = (base as u64).wrapping_add(offset as u64);
-                        actions.push(IssueAction::StoreAddr { idx, addr });
-                        issued += 1;
-                    }
+                        &mut units,
+                        &mut actions,
+                        &mut first_ready,
+                        &mut delayed,
+                    );
                 }
             }
         }
 
         // Phase B: apply.
-        for (idx, sh, td) in first_ready {
+        for &(idx, sh, td) in &first_ready {
             self.rob[idx].ready_while_shadowed = Some(sh);
             self.rob[idx].ready_while_true_dep = Some(td);
             self.rob[idx].first_ready_cycle = Some(self.cycle);
         }
-        for idx in delayed {
+        for &idx in &delayed {
             self.rob[idx].policy_delay_cycles += 1;
         }
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 IssueAction::Simple { idx, latency, result, actual_next } => {
                     let e = &mut self.rob[idx];
@@ -800,7 +763,11 @@ impl<'p> Simulator<'p> {
                     e.done_cycle = self.cycle + latency;
                     e.result = result;
                     e.actual_next = actual_next;
+                    let seq = e.seq;
+                    let done = e.done_cycle;
                     self.iq_count -= 1;
+                    self.ready.remove(&seq);
+                    self.completions.push(Reverse((done, seq)));
                 }
                 IssueAction::Forward { idx, store_idx, addr } => {
                     let store_seq = self.rob[store_idx].seq;
@@ -810,12 +777,29 @@ impl<'p> Simulator<'p> {
                         .expect("forwarding store has data");
                     let (extra_lev, extra_taint) = {
                         let s = &self.rob[store_idx];
-                        (s.lev_deps.clone(), s.taint_roots.clone())
+                        (s.lev_deps, s.taint_roots)
                     };
                     let width_signed = match self.rob[idx].instr {
                         Instr::Load { width, signed, .. } => (width, signed),
                         _ => unreachable!(),
                     };
+                    // Inherit the store's sets. Still-unresolved deps merge
+                    // as mask bits; deps that already resolved may see
+                    // their slot recycle before this load commits, so
+                    // their wait-accounting contribution is folded into a
+                    // scalar now (the store is still in flight, so every
+                    // bit currently maps to its original owner).
+                    let kept_lev = extra_lev.and(&self.slots.unresolved);
+                    let stale_lev = extra_lev.and_not(&self.slots.unresolved);
+                    let kept_taint = extra_taint.and(&self.slots.live_load);
+                    let ready = self.rob[idx]
+                        .first_ready_cycle
+                        .expect("forwarding requires ready operands");
+                    let mut stale_wait = 0u64;
+                    for slot in stale_lev.iter() {
+                        stale_wait =
+                            stale_wait.max(self.slots.resolve_cycle_of(slot).saturating_sub(ready));
+                    }
                     let e = &mut self.rob[idx];
                     // Narrowing semantics of an exact-width match: identical
                     // width, so the raw store value re-extends the same way
@@ -825,10 +809,22 @@ impl<'p> Simulator<'p> {
                     e.done_cycle = self.cycle + 2;
                     e.result = Some(v);
                     e.forwarded_from = Some(store_seq);
-                    merge_sorted(&mut e.lev_deps, &extra_lev);
-                    merge_sorted(&mut e.taint_roots, &extra_taint);
+                    e.lev_deps.union_with(&kept_lev);
+                    e.taint_roots.union_with(&kept_taint);
+                    e.fwd_true_wait = e.fwd_true_wait.max(stale_wait);
                     e.mem_addr = Some(addr);
+                    let seq = e.seq;
+                    let done = e.done_cycle;
                     self.iq_count -= 1;
+                    self.ready.remove(&seq);
+                    self.completions.push(Reverse((done, seq)));
+                    if self.refsets.is_some() {
+                        let mut r = self.refsets.take().expect("checked");
+                        let view = SpecView { slots: &self.slots, rob: &self.rob };
+                        let lidx = self.rob_index(seq).expect("live");
+                        r.on_forward(seq, store_seq, &self.rob[lidx], &self.slots, &view);
+                        self.refsets = Some(r);
+                    }
                 }
                 IssueAction::Access { idx, addr, value, hit_only } => {
                     let latency = if hit_only {
@@ -837,7 +833,9 @@ impl<'p> Simulator<'p> {
                             None => {
                                 // The line phase A saw was evicted by an
                                 // earlier fill applied this same cycle:
-                                // behave as a policy delay and retry.
+                                // behave as a policy delay and retry (the
+                                // instruction stays dispatched and in the
+                                // ready set).
                                 self.rob[idx].policy_delay_cycles += 1;
                                 continue;
                             }
@@ -857,7 +855,11 @@ impl<'p> Simulator<'p> {
                     e.holds_mshr = is_miss;
                     // Invisible (hit-only) accesses change no cache state.
                     e.touched_cache = !hit_only;
+                    let seq = e.seq;
+                    let done = e.done_cycle;
                     self.iq_count -= 1;
+                    self.ready.remove(&seq);
+                    self.completions.push(Reverse((done, seq)));
                 }
                 IssueAction::Flush { idx, addr } => {
                     self.hierarchy.flush_line(addr);
@@ -866,15 +868,281 @@ impl<'p> Simulator<'p> {
                     e.done_cycle = self.cycle + 1;
                     e.mem_addr = Some(addr);
                     e.touched_cache = true;
+                    let seq = e.seq;
+                    let done = e.done_cycle;
                     self.iq_count -= 1;
+                    self.ready.remove(&seq);
+                    self.completions.push(Reverse((done, seq)));
                 }
                 IssueAction::StoreAddr { idx, addr } => {
                     let e = &mut self.rob[idx];
                     e.stage = Stage::Executing;
                     e.done_cycle = self.cycle + 1;
                     e.mem_addr = Some(addr);
+                    let seq = e.seq;
+                    let done = e.done_cycle;
                     self.iq_count -= 1;
+                    self.ready.remove(&seq);
+                    self.completions.push(Reverse((done, seq)));
                 }
+            }
+        }
+
+        self.scratch_actions = actions;
+        first_ready.clear();
+        self.scratch_first_ready = first_ready;
+        delayed.clear();
+        self.scratch_delayed = delayed;
+    }
+
+    /// The full-ROB issue scan, used while a serializer is in flight: a
+    /// serializer issues only once all older instructions are done and
+    /// blocks all younger ones, which requires walking every entry.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_scan_serialized(
+        &self,
+        policy: &dyn SpeculationPolicy,
+        view: &SpecView<'_>,
+        units: &mut IssueUnits,
+        actions: &mut Vec<IssueAction>,
+        first_ready: &mut Vec<(usize, bool, bool)>,
+        delayed: &mut Vec<usize>,
+    ) {
+        let mut all_older_done = true;
+        let mut serializer_block = false;
+        for idx in 0..self.rob.len() {
+            let e = &self.rob[idx];
+            if e.stage != Stage::Dispatched {
+                if e.stage != Stage::Done {
+                    all_older_done = false;
+                    if e.is_serializer() {
+                        serializer_block = true;
+                    }
+                }
+                continue;
+            }
+            let older_done = all_older_done;
+            all_older_done = false;
+            if e.is_serializer() {
+                // Serializers wait for all older instructions and block
+                // all younger ones until they complete.
+                if older_done && !serializer_block && units.issued < self.config.issue_width {
+                    let result = match e.instr {
+                        Instr::RdCycle { .. } => Some(self.cycle as i64),
+                        _ => None,
+                    };
+                    actions.push(IssueAction::Simple {
+                        idx,
+                        latency: 1,
+                        result,
+                        actual_next: None,
+                    });
+                    units.issued += 1;
+                }
+                serializer_block = true;
+                continue;
+            }
+            if serializer_block {
+                continue;
+            }
+            if units.issued >= self.config.issue_width {
+                continue; // keep scanning only for serializer tracking
+            }
+            self.consider_issue(policy, view, idx, units, actions, first_ready, delayed);
+        }
+    }
+
+    /// Issue decision for the dispatched non-serializer instruction at
+    /// `idx` — shared verbatim between the fast ready-set path and the
+    /// serialized full scan so the two cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn consider_issue(
+        &self,
+        policy: &dyn SpeculationPolicy,
+        view: &SpecView<'_>,
+        idx: usize,
+        units: &mut IssueUnits,
+        actions: &mut Vec<IssueAction>,
+        first_ready: &mut Vec<(usize, bool, bool)>,
+        delayed: &mut Vec<usize>,
+    ) {
+        let e = &self.rob[idx];
+        // Store address generation needs only the base operand.
+        let is_store = e.instr.is_store();
+        let base_ready = !is_store || e.srcs[0].state.value().is_some();
+        if !(e.operands_ready() || (is_store && base_ready)) {
+            return;
+        }
+
+        // Record first-readiness speculation flags (F1) once.
+        if e.operands_ready() && e.ready_while_shadowed.is_none() {
+            first_ready.push((
+                idx,
+                view.any_unresolved(&e.shadow),
+                view.any_unresolved(&e.lev_deps),
+            ));
+        }
+
+        // Universal execute gate.
+        if policy.may_execute(e, view) == Gate::Delay {
+            delayed.push(idx);
+            return;
+        }
+
+        match e.instr {
+            Instr::Alu { op, .. } | Instr::AluImm { op, .. } => {
+                let (unit, latency) = match op {
+                    levioso_isa::AluOp::Mul | levioso_isa::AluOp::Mulh => {
+                        (&mut units.mul, self.config.mul_latency)
+                    }
+                    levioso_isa::AluOp::Div | levioso_isa::AluOp::Rem => {
+                        (&mut units.div, self.config.div_latency)
+                    }
+                    _ => (&mut units.alu, 1),
+                };
+                if *unit == 0 {
+                    return;
+                }
+                *unit -= 1;
+                let a = e.src_value(0);
+                let b = match e.instr {
+                    Instr::Alu { .. } => e.src_value(1),
+                    Instr::AluImm { imm, .. } => imm,
+                    _ => unreachable!(),
+                };
+                actions.push(IssueAction::Simple {
+                    idx,
+                    latency,
+                    result: Some(op.eval(a, b)),
+                    actual_next: None,
+                });
+                units.issued += 1;
+            }
+            Instr::Branch { cond, target, .. } => {
+                if units.alu == 0 {
+                    return;
+                }
+                units.alu -= 1;
+                let taken = cond.eval(e.src_value(0), e.src_value(1));
+                let actual = if taken { target } else { e.pc + 1 };
+                actions.push(IssueAction::Simple {
+                    idx,
+                    latency: 1,
+                    result: Some(i64::from(taken)),
+                    actual_next: Some(actual),
+                });
+                units.issued += 1;
+            }
+            Instr::Jal { .. } => {
+                if units.alu == 0 {
+                    return;
+                }
+                units.alu -= 1;
+                actions.push(IssueAction::Simple {
+                    idx,
+                    latency: 1,
+                    result: Some((e.pc + 1) as i64),
+                    actual_next: None, // direct: never mispredicts
+                });
+                units.issued += 1;
+            }
+            Instr::Jalr { offset, .. } => {
+                if units.alu == 0 {
+                    return;
+                }
+                units.alu -= 1;
+                let target = (e.src_value(0).wrapping_add(offset)) as u64 as u32;
+                actions.push(IssueAction::Simple {
+                    idx,
+                    latency: 1,
+                    result: Some((e.pc + 1) as i64),
+                    actual_next: Some(target),
+                });
+                units.issued += 1;
+            }
+            Instr::Nop | Instr::Halt => {
+                actions.push(IssueAction::Simple {
+                    idx,
+                    latency: 1,
+                    result: None,
+                    actual_next: None,
+                });
+                units.issued += 1;
+            }
+            Instr::Fence | Instr::RdCycle { .. } => unreachable!("serializers handled by caller"),
+            Instr::Flush { offset, .. } => {
+                if units.ld_ports == 0 {
+                    return;
+                }
+                if policy.may_transmit(e, view) == Gate::Delay {
+                    delayed.push(idx);
+                    return;
+                }
+                units.ld_ports -= 1;
+                let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
+                actions.push(IssueAction::Flush { idx, addr });
+                units.issued += 1;
+            }
+            Instr::Load { width, signed, offset, .. } => {
+                if units.ld_ports == 0 {
+                    return;
+                }
+                let addr = (e.src_value(0) as u64).wrapping_add(offset as u64);
+                // Memory ordering against older stores.
+                match self.lsq_check(idx, addr, width) {
+                    LsqVerdict::Blocked => {}
+                    LsqVerdict::Forward(store_idx) => {
+                        if policy.may_transmit(e, view) == Gate::Delay {
+                            delayed.push(idx);
+                            return;
+                        }
+                        units.ld_ports -= 1;
+                        actions.push(IssueAction::Forward { idx, store_idx, addr });
+                        units.issued += 1;
+                    }
+                    LsqVerdict::Memory => {
+                        if policy.may_transmit(e, view) == Gate::Delay {
+                            delayed.push(idx);
+                            return;
+                        }
+                        let hit_only = policy.load_mode(e, view) == LoadMode::HitOnly;
+                        let is_l1_hit = self.hierarchy.l1d.contains(addr);
+                        if hit_only && !is_l1_hit {
+                            // Delay-on-Miss: must wait instead of filling
+                            // speculatively.
+                            delayed.push(idx);
+                            return;
+                        }
+                        if !is_l1_hit {
+                            // A demand miss needs an MSHR.
+                            if units.mshrs_free == 0 {
+                                return; // structural stall
+                            }
+                            units.mshrs_free -= 1;
+                        }
+                        units.ld_ports -= 1;
+                        let value = read_memory(&self.mem, addr, width, signed);
+                        actions.push(IssueAction::Access { idx, addr, value, hit_only });
+                        units.issued += 1;
+                    }
+                }
+            }
+            Instr::Store { .. } => {
+                if e.mem_addr.is_some() {
+                    return; // address already generated
+                }
+                if units.st_ports == 0 {
+                    return;
+                }
+                units.st_ports -= 1;
+                let offset = match e.instr {
+                    Instr::Store { offset, .. } => offset,
+                    _ => unreachable!(),
+                };
+                let base = e.srcs[0].state.value().expect("base checked ready");
+                let addr = (base as u64).wrapping_add(offset as u64);
+                actions.push(IssueAction::StoreAddr { idx, addr });
+                units.issued += 1;
             }
         }
     }
@@ -940,6 +1208,7 @@ impl<'p> Simulator<'p> {
             let seq = self.next_seq;
             self.next_seq += 1;
             self.stats.dispatched += 1;
+            let rob_front_seq = self.rob.front().map(|e| e.seq);
 
             let mut e = DynInstr::new(seq, f.pc, f.instr);
             e.predicted_next = f.predicted_next;
@@ -948,28 +1217,34 @@ impl<'p> Simulator<'p> {
             e.fetch_stalled = f.stalls_fetch;
 
             // Conservative shadow: every unresolved older control instr.
-            e.shadow = self.unresolved.keys().copied().collect();
+            e.shadow = self.slots.unresolved;
 
             // Annotation instances: unresolved dynamic instances of the
             // statically annotated branches, plus every unresolved indirect
             // jump (hardware barrier rule).
             let ann = self.program.annotations.as_ref().map(|a| a.deps_of(f.pc as usize));
             e.ann_deps = match ann {
-                Some(DepSet::Exact(static_deps)) => self
-                    .unresolved
-                    .iter()
-                    .filter(|(_, &(pc, indirect))| {
-                        indirect || static_deps.binary_search(&pc).is_ok()
-                    })
-                    .map(|(&s, _)| s)
-                    .collect(),
-                Some(DepSet::AllOlder) | None => e.shadow.clone(),
+                Some(DepSet::Exact(static_deps)) => {
+                    let mut m = self.slots.unresolved.and(&self.slots.indirect);
+                    for b in self.slots.unresolved.and_not(&self.slots.indirect).iter() {
+                        if static_deps.binary_search(&self.slots.pc_of(b)).is_ok() {
+                            m.set(b);
+                        }
+                    }
+                    m
+                }
+                Some(DepSet::AllOlder) | None => e.shadow,
             };
-            e.lev_deps = e.ann_deps.clone();
+            e.lev_deps = e.ann_deps;
 
             // Rename sources; inherit Levioso deps + STT taint through the
-            // register dataflow.
+            // register dataflow. (Taint inheritance keeps only live-load
+            // roots: a dead root can never become active again, so the
+            // policy verdicts are unchanged and slot bits never outlive
+            // their reclamation barrier.)
+            let mut inherit: [Option<Seq>; 2] = [None, None];
             for reg in f.instr.sources() {
+                let oi = e.srcs.len();
                 let state = if reg.is_zero() {
                     OpState::Ready(0)
                 } else {
@@ -978,17 +1253,12 @@ impl<'p> Simulator<'p> {
                         RatEntry::Producer(p) => {
                             if let Some(pidx) = self.rob_index(p) {
                                 let prod = &self.rob[pidx];
-                                let lev: Vec<Seq> = prod
-                                    .lev_deps
-                                    .iter()
-                                    .copied()
-                                    .filter(|s| self.unresolved.contains_key(s))
-                                    .collect();
-                                merge_sorted(&mut e.lev_deps, &lev);
-                                merge_sorted(&mut e.taint_roots, &prod.taint_roots);
+                                inherit[oi] = Some(p);
+                                e.lev_deps.union_masked(&prod.lev_deps, &self.slots.unresolved);
+                                e.taint_roots
+                                    .union_masked(&prod.taint_roots, &self.slots.live_load);
                                 if prod.instr.is_load() {
-                                    let root = [p];
-                                    merge_sorted(&mut e.taint_roots, &root);
+                                    e.taint_roots.set(prod.slot.expect("loads own a slot"));
                                 }
                                 match (prod.stage, prod.result) {
                                     (Stage::Done, Some(v)) => OpState::Ready(v),
@@ -1002,6 +1272,12 @@ impl<'p> Simulator<'p> {
                         }
                     }
                 };
+                if let OpState::Waiting(p) = state {
+                    // Link into the producer's wakeup chain.
+                    let pidx = self.rob_index(p).expect("waiting producer is live");
+                    e.wake_next[oi] = self.rob[pidx].wake_head;
+                    self.rob[pidx].wake_head = Some((seq, oi as u8));
+                }
                 e.srcs.push(Operand { reg, state });
             }
 
@@ -1009,7 +1285,13 @@ impl<'p> Simulator<'p> {
                 self.rat[rd.index()] = RatEntry::Producer(seq);
             }
             if e.is_spec_source() {
-                self.unresolved.insert(seq, (f.pc, f.instr.is_indirect()));
+                e.slot =
+                    Some(self.slots.alloc_ctrl(seq, f.pc, f.instr.is_indirect(), rob_front_seq));
+            } else if f.instr.is_load() {
+                e.slot = Some(self.slots.alloc_load(seq, e.shadow, rob_front_seq));
+            }
+            if e.is_serializer() {
+                self.serializer_count += 1;
             }
             if f.instr.is_load() {
                 self.lq_count += 1;
@@ -1018,6 +1300,20 @@ impl<'p> Simulator<'p> {
                 self.sq_count += 1;
             }
             self.iq_count += 1;
+
+            // Initial issue eligibility.
+            let eligible =
+                e.operands_ready() || (e.instr.is_store() && e.srcs[0].state.value().is_some());
+            if eligible {
+                self.ready.insert(seq);
+            }
+
+            if self.refsets.is_some() {
+                let mut r = self.refsets.take().expect("checked");
+                let view = SpecView { slots: &self.slots, rob: &self.rob };
+                r.on_dispatch(&e, ann, &inherit, &self.slots, &view);
+                self.refsets = Some(r);
+            }
             self.rob.push_back(e);
         }
     }
@@ -1124,14 +1420,4 @@ fn extend_like_load(value: i64, width: levioso_isa::MemWidth, signed: bool) -> i
     } else {
         value & ((1i64 << bits) - 1)
     }
-}
-
-/// Merges sorted `extra` into sorted `dst`, deduplicating.
-fn merge_sorted(dst: &mut Vec<Seq>, extra: &[Seq]) {
-    if extra.is_empty() {
-        return;
-    }
-    dst.extend_from_slice(extra);
-    dst.sort_unstable();
-    dst.dedup();
 }

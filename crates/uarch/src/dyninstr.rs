@@ -1,6 +1,8 @@
 //! Dynamic (in-flight) instruction state.
 
+use crate::specmask::SpecMask;
 use levioso_isa::{Instr, Reg};
+use std::ops::{Index, IndexMut};
 
 /// Monotonic dynamic instruction sequence number (never reused within a
 /// simulation; orders age).
@@ -45,10 +47,99 @@ impl OpState {
     }
 }
 
+/// Inline storage for an instruction's 0–2 renamed source operands
+/// (replaces a per-instruction `Vec<Operand>` heap allocation on the
+/// hottest dispatch path).
+#[derive(Clone, Copy)]
+pub struct Operands {
+    buf: [Operand; 2],
+    len: u8,
+}
+
+impl Operands {
+    const EMPTY_SLOT: Operand = Operand { reg: levioso_isa::reg::ZERO, state: OpState::Ready(0) };
+
+    /// No operands.
+    pub const fn new() -> Self {
+        Operands { buf: [Self::EMPTY_SLOT; 2], len: 0 }
+    }
+
+    /// Appends an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics beyond two operands (no lev64 instruction reads more).
+    pub fn push(&mut self, op: Operand) {
+        self.buf[self.len as usize] = op;
+        self.len += 1;
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether there are no operands.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The operands as a slice.
+    pub fn as_slice(&self) -> &[Operand] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Iterates the operands.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operand> {
+        self.as_slice().iter()
+    }
+
+    /// Iterates the operands mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Operand> {
+        self.buf[..self.len as usize].iter_mut()
+    }
+}
+
+impl Default for Operands {
+    fn default() -> Self {
+        Operands::new()
+    }
+}
+
+impl Index<usize> for Operands {
+    type Output = Operand;
+
+    fn index(&self, idx: usize) -> &Operand {
+        &self.as_slice()[idx]
+    }
+}
+
+impl IndexMut<usize> for Operands {
+    fn index_mut(&mut self, idx: usize) -> &mut Operand {
+        &mut self.buf[..self.len as usize][idx]
+    }
+}
+
+impl std::fmt::Debug for Operands {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<'a> IntoIterator for &'a Operands {
+    type Item = &'a Operand;
+    type IntoIter = std::slice::Iter<'a, Operand>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A dynamic instruction in the reorder buffer.
 ///
 /// Alongside ordinary out-of-order bookkeeping it carries the three
-/// speculation-tracking sets every policy is judged on:
+/// speculation-tracking sets every policy is judged on, each a
+/// [`SpecMask`] over the in-flight slots of [`crate::specmask`]:
 ///
 /// * [`shadow`](Self::shadow) — all older control instructions unresolved
 ///   at rename (what a hardware-only scheme must assume);
@@ -73,7 +164,7 @@ pub struct DynInstr {
     /// Cycle at which execution completes (valid while `Executing`).
     pub done_cycle: u64,
     /// Renamed source operands (0–2).
-    pub srcs: Vec<Operand>,
+    pub srcs: Operands,
     /// Result value (valid once `Done`, for instructions with a dest).
     pub result: Option<i64>,
 
@@ -96,17 +187,33 @@ pub struct DynInstr {
     /// For forwarded loads: the store that supplied the data.
     pub forwarded_from: Option<Seq>,
 
+    /// This instruction's own speculation slot (control instructions and
+    /// loads only).
+    pub slot: Option<u16>,
     /// All older control instructions unresolved at rename.
-    pub shadow: Vec<Seq>,
+    pub shadow: SpecMask,
     /// Unresolved instances of statically annotated branch dependencies
     /// (plus unresolved indirect jumps).
-    pub ann_deps: Vec<Seq>,
+    pub ann_deps: SpecMask,
     /// Full Levioso dependency set (annotation instances ∪ deps inherited
     /// through register dataflow and store forwarding).
-    pub lev_deps: Vec<Seq>,
+    pub lev_deps: SpecMask,
     /// STT taint roots: in-flight loads whose values reach this
     /// instruction's operands.
-    pub taint_roots: Vec<Seq>,
+    pub taint_roots: SpecMask,
+    /// Wait-accounting carry for dependencies inherited at store-to-load
+    /// forwarding that had already resolved by the merge (their slots may
+    /// recycle before this instruction commits, so the contribution —
+    /// `max(resolve_cycle − first_ready)` over the dropped deps — is folded
+    /// into this scalar at merge time instead).
+    pub fwd_true_wait: u64,
+
+    /// Head of this producer's wakeup chain: the youngest-registered
+    /// consumer waiting on this instruction's result, as
+    /// `(consumer seq, operand index)`.
+    pub wake_head: Option<(Seq, u8)>,
+    /// Per-operand next link in the producer's wakeup chain.
+    pub wake_next: [Option<(Seq, u8)>; 2],
 
     /// Measured at first operand-readiness: was any `shadow` branch still
     /// unresolved? (F1 motivation counter, conservative view.)
@@ -134,7 +241,7 @@ impl DynInstr {
             instr,
             stage: Stage::Dispatched,
             done_cycle: 0,
-            srcs: Vec::new(),
+            srcs: Operands::new(),
             result: None,
             predicted_next: pc + 1,
             fetch_stalled: false,
@@ -144,10 +251,14 @@ impl DynInstr {
             mem_addr: None,
             store_data: None,
             forwarded_from: None,
-            shadow: Vec::new(),
-            ann_deps: Vec::new(),
-            lev_deps: Vec::new(),
-            taint_roots: Vec::new(),
+            slot: None,
+            shadow: SpecMask::EMPTY,
+            ann_deps: SpecMask::EMPTY,
+            lev_deps: SpecMask::EMPTY,
+            taint_roots: SpecMask::EMPTY,
+            fwd_true_wait: 0,
+            wake_head: None,
+            wake_next: [None, None],
             ready_while_shadowed: None,
             ready_while_true_dep: None,
             policy_delay_cycles: 0,
@@ -195,10 +306,8 @@ mod tests {
     #[test]
     fn operand_readiness() {
         let mut d = DynInstr::new(1, 0, Instr::Alu { op: AluOp::Add, rd: A0, rs1: A1, rs2: A2 });
-        d.srcs = vec![
-            Operand { reg: A1, state: OpState::Ready(5) },
-            Operand { reg: A2, state: OpState::Waiting(0) },
-        ];
+        d.srcs.push(Operand { reg: A1, state: OpState::Ready(5) });
+        d.srcs.push(Operand { reg: A2, state: OpState::Waiting(0) });
         assert!(!d.operands_ready());
         d.srcs[1].state = OpState::Ready(7);
         assert!(d.operands_ready());
@@ -220,5 +329,18 @@ mod tests {
         assert!(f.is_serializer());
         let r = DynInstr::new(4, 0, Instr::RdCycle { rd: A0 });
         assert!(r.is_serializer());
+    }
+
+    #[test]
+    fn operands_inline_storage() {
+        let mut ops = Operands::new();
+        assert!(ops.is_empty());
+        ops.push(Operand { reg: A1, state: OpState::Ready(1) });
+        ops.push(Operand { reg: A2, state: OpState::Waiting(9) });
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops.as_slice().len(), 2);
+        assert!(ops.iter().any(|o| matches!(o.state, OpState::Waiting(9))));
+        ops[1].state = OpState::Ready(3);
+        assert_eq!(ops[1].state.value(), Some(3));
     }
 }

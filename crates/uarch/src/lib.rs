@@ -25,12 +25,15 @@ mod core;
 pub mod dyninstr;
 pub mod policy;
 pub mod predictor;
+mod refsets;
+pub mod specmask;
 pub mod stats;
 
 pub use crate::core::{SimError, Simulator};
 pub use cache::{CacheStats, Hierarchy, SetAssocCache};
 pub use config::{CacheConfig, CoreConfig, HierarchyConfig, PredictorConfig};
-pub use dyninstr::{DynInstr, OpState, Operand, Seq, Stage};
+pub use dyninstr::{DynInstr, OpState, Operand, Operands, Seq, Stage};
 pub use policy::{Gate, LoadMode, SpecView, SpeculationPolicy, UnsafeBaseline};
 pub use predictor::Predictor;
+pub use specmask::SpecMask;
 pub use stats::SimStats;

@@ -6,12 +6,16 @@
 //! execution and how a load may touch the cache. Policies therefore differ
 //! *only* in what they restrict — exactly the comparison the paper makes.
 //!
+//! Dependency sets are [`SpecMask`] bitmasks over in-flight slots (see
+//! [`crate::specmask`]), so every predicate here is a handful of word-wise
+//! ANDs rather than a per-element map probe.
+//!
 //! Concrete policies (the Levioso scheme and all baselines) live in
 //! `levioso-core`; this crate only defines the contract plus the trivial
 //! [`UnsafeBaseline`].
 
-use crate::dyninstr::{DynInstr, Seq, Stage};
-use std::collections::BTreeMap;
+use crate::dyninstr::{DynInstr, Seq};
+use crate::specmask::{SlotTable, SpecMask};
 use std::collections::VecDeque;
 
 /// Verdict for an execution attempt this cycle.
@@ -36,22 +40,40 @@ pub enum LoadMode {
 /// Read-only view of the core's speculation state, passed to policies.
 #[derive(Debug)]
 pub struct SpecView<'a> {
-    pub(crate) unresolved: &'a BTreeMap<Seq, (u32, bool)>,
+    pub(crate) slots: &'a SlotTable,
     pub(crate) rob: &'a VecDeque<DynInstr>,
 }
 
 impl<'a> SpecView<'a> {
-    /// Whether the control instruction `seq` is still unresolved (it has
-    /// not yet executed). Resolved or squashed instructions return `false`.
-    pub fn is_unresolved(&self, seq: Seq) -> bool {
-        self.unresolved.contains_key(&seq)
+    /// Whether any control instruction in `deps` is still unresolved (it
+    /// has not yet executed). Resolved or squashed dependencies drop out.
+    pub fn any_unresolved(&self, deps: &SpecMask) -> bool {
+        deps.intersects(&self.slots.unresolved)
     }
 
-    /// Whether the control instruction `seq` has not yet *committed*
-    /// (commit-release schemes). True while the instruction is still in the
+    /// Whether any control instruction in `deps` has not yet *committed*
+    /// (commit-release schemes). True while the dependency is still in the
     /// ROB.
-    pub fn is_uncommitted(&self, seq: Seq) -> bool {
-        self.entry(seq).is_some()
+    pub fn any_uncommitted(&self, deps: &SpecMask) -> bool {
+        deps.intersects(&self.slots.live_ctrl)
+    }
+
+    /// STT taint liveness: a taint root (a load) is *active* while it is
+    /// still in flight and itself speculative (some older control
+    /// instruction in its shadow is unresolved) — or while it has not even
+    /// executed yet (its value, once produced, will be speculative).
+    /// Committed or squashed roots are inactive.
+    pub fn any_taint_active(&self, roots: &SpecMask) -> bool {
+        let live = roots.and(&self.slots.live_load);
+        if live.is_empty() {
+            return false;
+        }
+        // A live root that has not finished executing is active.
+        if !live.and_not(&self.slots.load_done).is_empty() {
+            return true;
+        }
+        // A done root stays active while its own shadow is unresolved.
+        live.iter().any(|slot| self.slots.shadow_of(slot).intersects(&self.slots.unresolved))
     }
 
     /// The ROB entry for `seq`, if still in flight. Sequence numbers are
@@ -59,27 +81,6 @@ impl<'a> SpecView<'a> {
     pub fn entry(&self, seq: Seq) -> Option<&DynInstr> {
         let idx = self.rob.binary_search_by(|e| e.seq.cmp(&seq)).ok()?;
         Some(&self.rob[idx])
-    }
-
-    /// Whether any branch in `deps` is still unresolved.
-    pub fn any_unresolved(&self, deps: &[Seq]) -> bool {
-        deps.iter().any(|&s| self.is_unresolved(s))
-    }
-
-    /// Whether any branch in `deps` has not yet committed.
-    pub fn any_uncommitted(&self, deps: &[Seq]) -> bool {
-        deps.iter().any(|&s| self.is_uncommitted(s))
-    }
-
-    /// STT taint liveness: a taint root (a load) is *active* while it is
-    /// still in flight and itself speculative (some older control
-    /// instruction in its shadow is unresolved) — or while it has not even
-    /// executed yet (its value, once produced, will be speculative).
-    pub fn taint_active(&self, root: Seq) -> bool {
-        match self.entry(root) {
-            None => false, // committed or squashed: no longer speculative
-            Some(e) => e.stage != Stage::Done || self.any_unresolved(&e.shadow),
-        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! checkpointed at every prediction and restored on squash.
 
 use crate::config::PredictorConfig;
+use std::sync::Arc;
 
 /// Direction + target predictor with checkpoint/restore.
 #[derive(Debug, Clone)]
@@ -26,13 +27,21 @@ pub struct Predictor {
     /// Return-address stack.
     ras: Vec<u32>,
     ras_limit: usize,
+    /// Cached shared snapshot of `ras`, invalidated on every RAS mutation,
+    /// so checkpointing between mutations is a reference bump rather than a
+    /// fresh allocation per predicted branch.
+    ras_snapshot: Option<Arc<[u32]>>,
 }
 
 /// Snapshot of the speculative predictor state taken at a prediction point.
+///
+/// The RAS image is shared (`Arc`): every checkpoint taken between two RAS
+/// mutations reuses one allocation, and cloning a checkpoint into the ROB
+/// is two words plus a reference bump.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     history: u64,
-    ras: Vec<u32>,
+    ras: Arc<[u32]>,
 }
 
 impl Predictor {
@@ -51,6 +60,7 @@ impl Predictor {
             itb_mask: config.btb_entries - 1,
             ras: Vec::new(),
             ras_limit: config.ras_entries,
+            ras_snapshot: None,
         }
     }
 
@@ -60,14 +70,18 @@ impl Predictor {
     }
 
     /// Snapshot the speculative state (history + RAS) for later repair.
-    pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint { history: self.history, ras: self.ras.clone() }
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let ras = self.ras_snapshot.get_or_insert_with(|| Arc::from(self.ras.as_slice())).clone();
+        Checkpoint { history: self.history, ras }
     }
 
     /// Restores a snapshot taken at the (now mispredicted) branch.
     pub fn restore(&mut self, cp: &Checkpoint) {
         self.history = cp.history;
-        self.ras = cp.ras.clone();
+        self.ras.clear();
+        self.ras.extend_from_slice(&cp.ras);
+        // The restored image is exactly the snapshot; reuse it.
+        self.ras_snapshot = Some(cp.ras.clone());
     }
 
     /// Predicts the direction of the conditional branch at `pc` and
@@ -99,6 +113,7 @@ impl Predictor {
 
     /// Records a call's return address on the RAS.
     pub fn push_return(&mut self, return_pc: u32) {
+        self.ras_snapshot = None;
         if self.ras.len() == self.ras_limit {
             self.ras.remove(0);
         }
@@ -107,6 +122,7 @@ impl Predictor {
 
     /// Predicts a return target by popping the RAS.
     pub fn pop_return(&mut self) -> Option<u32> {
+        self.ras_snapshot = None;
         self.ras.pop()
     }
 
@@ -149,7 +165,7 @@ mod tests {
                 }
             } else {
                 // Mispredict: repair speculative history like the core.
-                let cp = Checkpoint { history: h, ras: vec![] };
+                let cp = Checkpoint { history: h, ras: Arc::from([]) };
                 pr.restore(&cp);
                 pr.update_history(true);
             }
@@ -173,7 +189,7 @@ mod tests {
             }
             if pred != outcome {
                 // Mispredict: repair history like the core does.
-                let cp = Checkpoint { history: h, ras: vec![] };
+                let cp = Checkpoint { history: h, ras: Arc::from([]) };
                 pr.restore(&cp);
                 pr.update_history(outcome);
             }

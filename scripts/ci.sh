@@ -16,6 +16,11 @@
 #   5. golden gate:       the smoke-tier bench sweep checked against
 #                         results/golden/smoke/ — exits nonzero with a
 #                         per-cell diff on any drift (see README.md "CI")
+#   6. throughput check:  perfcheck validates and summarizes the
+#                         results/BENCH_sim_throughput.json snapshot the
+#                         golden gate just wrote — fails if it is missing
+#                         or malformed, so simulator-throughput tracking
+#                         cannot silently rot
 #
 # Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
 
@@ -45,4 +50,7 @@ cargo test -q --offline --workspace --doc
 echo "==> golden gate: smoke-tier sweep vs results/golden/smoke/"
 cargo run -q --release --offline -p levioso-bench --bin all -- --smoke --check
 
-echo "==> OK: build, format, lints, tests, and golden gate all green in $((SECONDS - start))s"
+echo "==> simulator throughput snapshot"
+cargo run -q --release --offline -p levioso-bench --bin perfcheck
+
+echo "==> OK: build, format, lints, tests, golden gate, and throughput snapshot all green in $((SECONDS - start))s"

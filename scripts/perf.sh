@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Simulator throughput measurement: runs the paper-tier sweep twice and
+# reports the cells-per-busy-second delta between the runs — a quick
+# stability probe (a large delta means the host is too noisy for the
+# numbers to be trusted) plus the comparison against the recorded
+# baseline in results/BENCH_sim_throughput.json.
+#
+# The second run's snapshot is the one left on disk; the recorded
+# `baseline` object is preserved across runs (see the `all` driver).
+#
+# Usage: scripts/perf.sh [--threads N]   (default: 1 — single-threaded
+#        numbers are the comparable ones; see DESIGN.md "Hot path &
+#        performance model")
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threads=1
+if [[ "${1:-}" == "--threads" && -n "${2:-}" ]]; then
+  threads=$2
+fi
+
+echo "==> building release binaries"
+cargo build -q --release --offline -p levioso-bench
+
+extract() {
+  cargo run -q --release --offline -p levioso-bench --bin perfcheck \
+    | sed -n 's/^PERF .*cells_per_busy_sec=\([0-9.]*\).*$/\1/p' | head -1
+}
+
+echo "==> paper-tier sweep, run 1 of 2 (--threads $threads)"
+cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
+cargo run -q --release --offline -p levioso-bench --bin perfcheck
+r1=$(extract)
+
+echo "==> paper-tier sweep, run 2 of 2 (--threads $threads)"
+cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
+cargo run -q --release --offline -p levioso-bench --bin perfcheck
+r2=$(extract)
+
+# Percent delta between the two runs, in pure shell arithmetic (no bc on
+# the CI image): scale to integer thousandths first.
+to_milli() { awk -v v="$1" 'BEGIN { printf "%d", v * 1000 }'; }
+m1=$(to_milli "$r1")
+m2=$(to_milli "$r2")
+if [[ "$m1" -gt 0 ]]; then
+  delta=$(( (m2 - m1) * 100 / m1 ))
+  echo "==> cells/busy-sec: run1=$r1 run2=$r2 (run-to-run delta ${delta}%)"
+  if (( delta > 10 || delta < -10 )); then
+    echo "==> WARNING: >10% run-to-run drift — host too noisy, rerun on a quiet machine"
+  fi
+else
+  echo "==> cells/busy-sec: run1=$r1 run2=$r2"
+fi
