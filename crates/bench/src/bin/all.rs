@@ -20,7 +20,7 @@ use levioso_bench::{gate, Sweep, Tier};
 use std::time::Instant;
 
 fn main() {
-    let opts = util::Opts::parse(true);
+    let opts = util::Opts::parse(true, true);
     let sweep = opts.sweep();
     let tier = opts.tier;
     let start = Instant::now();
@@ -46,14 +46,15 @@ fn main() {
     // Full regeneration, report order. Tables first (cheap), then the
     // shape figures (the parallel sweeps).
     let t = levioso_bench::config_table();
-    util::emit(tier, "table1_config", &t.render(), None);
+    util::emit(&opts, "table1_config", &t.render(), None);
     for (id, f) in gate::shape_figures(&sweep, tier) {
-        util::emit(tier, id, &f.render(), Some(f.to_json()));
+        util::emit(&opts, id, &f.render(), Some(f.to_json()));
     }
     let t = levioso_bench::security_table();
-    util::emit(tier, "table2_security", &t.render(), None);
+    util::emit(&opts, "table2_security", &t.render(), None);
     let t = levioso_bench::annotation_table(&sweep, tier.scale());
-    util::emit(tier, "table3_annotation", &t.render(), None);
+    util::emit(&opts, "table3_annotation", &t.render(), None);
+    util::emit_attrib(&opts, &sweep, "overhead", &levioso_core::Scheme::HEADLINE);
     write_throughput(&sweep, tier, start);
     eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
 }

@@ -3,7 +3,14 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
-    let f = levioso_bench::ablation_figure(&opts.sweep(), opts.tier.scale());
-    util::emit(opts.tier, "fig3_ablation", &f.render(), Some(f.to_json()));
+    let opts = util::Opts::parse(false, true);
+    let sweep = opts.sweep();
+    let f = levioso_bench::ablation_figure(&sweep, opts.tier.scale());
+    util::emit(&opts, "fig3_ablation", &f.render(), Some(f.to_json()));
+    util::emit_attrib(
+        &opts,
+        &sweep,
+        "fig3_ablation",
+        &[levioso_core::Scheme::Levioso, levioso_core::Scheme::LeviosoStatic],
+    );
 }

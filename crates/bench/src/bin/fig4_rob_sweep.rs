@@ -3,8 +3,8 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
+    let opts = util::Opts::parse(false, false);
     let f =
         levioso_bench::rob_sweep_figure(&opts.sweep(), opts.tier.scale(), opts.tier.rob_sizes());
-    util::emit(opts.tier, "fig4_rob_sweep", &f.render(), Some(f.to_json()));
+    util::emit(&opts, "fig4_rob_sweep", &f.render(), Some(f.to_json()));
 }

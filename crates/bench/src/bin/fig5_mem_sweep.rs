@@ -3,11 +3,11 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
+    let opts = util::Opts::parse(false, false);
     let f = levioso_bench::mem_sweep_figure(
         &opts.sweep(),
         opts.tier.scale(),
         opts.tier.dram_latencies(),
     );
-    util::emit(opts.tier, "fig5_mem_sweep", &f.render(), Some(f.to_json()));
+    util::emit(&opts, "fig5_mem_sweep", &f.render(), Some(f.to_json()));
 }

@@ -3,7 +3,7 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
+    let opts = util::Opts::parse(false, false);
     let t = levioso_bench::config_table();
-    util::emit(opts.tier, "table1_config", &t.render(), None);
+    util::emit(&opts, "table1_config", &t.render(), None);
 }

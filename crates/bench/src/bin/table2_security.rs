@@ -3,7 +3,7 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
+    let opts = util::Opts::parse(false, false);
     let t = levioso_bench::security_table();
-    util::emit(opts.tier, "table2_security", &t.render(), None);
+    util::emit(&opts, "table2_security", &t.render(), None);
 }

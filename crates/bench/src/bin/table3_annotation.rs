@@ -3,7 +3,7 @@
 mod util;
 
 fn main() {
-    let opts = util::Opts::parse(false);
+    let opts = util::Opts::parse(false, false);
     let t = levioso_bench::annotation_table(&opts.sweep(), opts.tier.scale());
-    util::emit(opts.tier, "table3_annotation", &t.render(), None);
+    util::emit(&opts, "table3_annotation", &t.render(), None);
 }

@@ -30,17 +30,21 @@
 
 use levioso_core::Scheme;
 use levioso_stats::{geomean, Figure, Table};
-use levioso_uarch::{CoreConfig, SimStats};
+use levioso_uarch::{CoreConfig, SimStats, TraceSink};
 use levioso_workloads::{suite, Scale, Workload};
 use std::collections::HashMap;
 
+pub mod attrib;
 pub mod gate;
 pub mod sweep;
 pub mod throughput;
+pub mod trace_export;
 
+pub use attrib::{attribution_report, render_attribution, AttribSink, AttribStats};
 pub use gate::Tier;
 pub use sweep::Sweep;
 pub use throughput::Throughput;
+pub use trace_export::{validate_chrome_trace, ChromeTraceSink, TraceSummary};
 
 /// Runs one workload under one scheme/config and returns its statistics.
 ///
@@ -58,6 +62,9 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     scheme.prepare(&mut program);
     let mut sim = levioso_uarch::Simulator::new(&program, config.clone());
     w.apply_memory(&mut sim);
+    if null_trace_enabled() {
+        sim.attach_tracer(Box::new(levioso_uarch::NullSink));
+    }
     let stats = sim
         .run(scheme.policy().as_ref())
         .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", w.name));
@@ -66,6 +73,49 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     assert_eq!(got, expected, "{} under {scheme}: checksum mismatch", w.name);
     throughput::record(stats.cycles, stats.committed, cell_start.elapsed());
     stats
+}
+
+/// Whether `LEVIOSO_TRACE=null` asked every [`run_workload`] cell to run
+/// with a [`levioso_uarch::NullSink`] attached. Used by
+/// `scripts/perf.sh --ab` to measure the hook overhead with the
+/// tracing branches *taken*; results are unchanged either way (the null
+/// sink observes but never perturbs).
+fn null_trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("LEVIOSO_TRACE").as_deref() == Ok("null"))
+}
+
+/// Runs one workload with `sink` attached and returns the statistics
+/// plus the sink (recover a concrete sink via
+/// [`TraceSink::into_any`]). Unlike [`run_workload`] this does **not**
+/// feed the global throughput meter: traced cells pay for their
+/// observers and would skew the perf baseline.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the checksum diverges.
+pub fn run_workload_traced(
+    w: &Workload,
+    scheme: Scheme,
+    config: &CoreConfig,
+    sink: Box<dyn TraceSink>,
+) -> (SimStats, Box<dyn TraceSink>) {
+    let mut program = w.program.clone();
+    scheme.prepare(&mut program);
+    let mut sim = levioso_uarch::Simulator::new(&program, config.clone());
+    w.apply_memory(&mut sim);
+    sim.attach_tracer(sink);
+    let stats = sim
+        .run(scheme.policy().as_ref())
+        .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", w.name));
+    assert_eq!(
+        sim.mem.read_i64(w.checksum_addr),
+        w.expected_checksum(),
+        "{} under {scheme}: checksum mismatch",
+        w.name
+    );
+    let sink = sim.take_tracer().expect("attached above");
+    (stats, sink)
 }
 
 /// One simulation cell of a normalized-runtime grid.

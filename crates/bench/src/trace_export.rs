@@ -1,0 +1,409 @@
+//! Instruction-lifetime trace export in the Chrome trace-event format.
+//!
+//! [`ChromeTraceSink`] turns the core's [`TraceSink`] hook stream into
+//! complete ("X"-phase) spans — one per dynamic instruction, from
+//! dispatch to commit or squash, with issue/writeback milestones and
+//! policy-block blame in the span `args`. Timestamps are simulator
+//! cycles reported as microseconds, which the Chrome tracing UI and
+//! Perfetto (<https://ui.perfetto.dev>) both load directly.
+//!
+//! The sink is bounded: it keeps the most recent `capacity` finished
+//! spans in a ring and counts everything older as dropped, so tracing a
+//! long run cannot exhaust memory. Spans are packed onto a small pool of
+//! "lanes" (trace `tid`s) such that spans sharing a lane never overlap —
+//! the ROB-occupancy picture without one row per instruction.
+//!
+//! [`validate_chrome_trace`] re-parses an emitted document with
+//! [`levioso_support::Json`] and checks the structural invariants
+//! (required fields, non-overlap per lane); the `levitrace` binary and
+//! CI run it on every export.
+
+use levioso_support::Json;
+use levioso_uarch::{Blame, DynInstr, Seq, TraceSink};
+use std::collections::{HashMap, VecDeque};
+
+/// Default ring capacity (finished spans retained).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A span still in flight (dispatched, not yet committed or squashed).
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    pc: u32,
+    name: String,
+    dispatch: u64,
+    issue: Option<u64>,
+    writeback: Option<u64>,
+    blocked: u64,
+    rule: Option<&'static str>,
+    forwarded: bool,
+}
+
+/// A finished instruction-lifetime span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Dynamic sequence number.
+    pub seq: Seq,
+    /// Program counter.
+    pub pc: u32,
+    /// Rendered instruction text (the trace event name).
+    pub name: String,
+    /// Dispatch cycle (span start).
+    pub start: u64,
+    /// Exclusive end cycle (commit/squash cycle, widened so every span
+    /// has duration ≥ 1).
+    pub end: u64,
+    /// Issue cycle, if the instruction issued.
+    pub issue: Option<u64>,
+    /// Writeback cycle, if it executed to completion.
+    pub writeback: Option<u64>,
+    /// Cycles the policy blocked it.
+    pub blocked: u64,
+    /// First blame rule observed, if any.
+    pub rule: Option<&'static str>,
+    /// Whether a store forwarded its data.
+    pub forwarded: bool,
+    /// `"commit"` or `"squash"`.
+    pub outcome: &'static str,
+    /// Assigned lane (trace `tid`).
+    pub lane: usize,
+}
+
+/// A [`TraceSink`] exporting bounded Chrome trace-event JSON.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    open: HashMap<Seq, OpenSpan>,
+    spans: VecDeque<Span>,
+    /// Exclusive end cycle of the youngest span on each lane.
+    lane_ends: Vec<u64>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        ChromeTraceSink::new()
+    }
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink retaining up to [`DEFAULT_CAPACITY`] spans.
+    pub fn new() -> Self {
+        ChromeTraceSink::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a sink retaining up to `capacity` finished spans (older
+    /// spans are dropped and counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs room for at least one span");
+        ChromeTraceSink {
+            open: HashMap::new(),
+            spans: VecDeque::new(),
+            lane_ends: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Finished spans currently retained, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Finished spans evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn finalize(&mut self, seq: Seq, cycle: u64, outcome: &'static str) {
+        let Some(open) = self.open.remove(&seq) else { return };
+        let start = open.dispatch;
+        let end = cycle.max(start + 1);
+        let lane = match self.lane_ends.iter().position(|&e| e <= start) {
+            Some(lane) => lane,
+            None => {
+                self.lane_ends.push(0);
+                self.lane_ends.len() - 1
+            }
+        };
+        self.lane_ends[lane] = end;
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(Span {
+            seq,
+            pc: open.pc,
+            name: open.name,
+            start,
+            end,
+            issue: open.issue,
+            writeback: open.writeback,
+            blocked: open.blocked,
+            rule: open.rule,
+            forwarded: open.forwarded,
+            outcome,
+            lane,
+        });
+    }
+
+    /// Consumes the sink and emits the Chrome trace-event document:
+    /// `traceEvents` holds process/lane metadata ("M") plus one complete
+    /// ("X") event per retained span; `droppedSpans` counts evictions.
+    pub fn into_chrome_json(self) -> String {
+        let lanes = self.lane_ends.len();
+        let mut events: Vec<Json> = Vec::with_capacity(self.spans.len() + lanes + 1);
+        let meta = |name: &str, tid: i64, arg: &str| {
+            Json::obj([
+                ("ph", Json::str("M")),
+                ("name", Json::str(name)),
+                ("pid", Json::I64(1)),
+                ("tid", Json::I64(tid)),
+                ("args", Json::obj([("name", Json::str(arg))])),
+            ])
+        };
+        events.push(meta("process_name", 0, "levioso-sim"));
+        for lane in 0..lanes {
+            events.push(meta("thread_name", lane as i64, &format!("rob lane {lane}")));
+        }
+        for s in &self.spans {
+            let opt = |v: Option<u64>| v.map_or(Json::Null, |c| Json::I64(c as i64));
+            events.push(Json::obj([
+                ("ph", Json::str("X")),
+                ("name", Json::str(&s.name)),
+                ("cat", Json::str(s.outcome)),
+                ("ts", Json::I64(s.start as i64)),
+                ("dur", Json::I64((s.end - s.start) as i64)),
+                ("pid", Json::I64(1)),
+                ("tid", Json::I64(s.lane as i64)),
+                (
+                    "args",
+                    Json::obj([
+                        ("seq", Json::I64(s.seq as i64)),
+                        ("pc", Json::I64(s.pc as i64)),
+                        ("issue", opt(s.issue)),
+                        ("writeback", opt(s.writeback)),
+                        ("blocked_cycles", Json::I64(s.blocked as i64)),
+                        ("rule", s.rule.map_or(Json::Null, Json::str)),
+                        ("forwarded", Json::Bool(s.forwarded)),
+                    ]),
+                ),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("droppedSpans", Json::I64(self.dropped as i64)),
+        ])
+        .emit_pretty()
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn on_dispatch(&mut self, cycle: u64, instr: &DynInstr) {
+        self.open.insert(
+            instr.seq,
+            OpenSpan {
+                pc: instr.pc,
+                name: instr.instr.to_string(),
+                dispatch: cycle,
+                issue: None,
+                writeback: None,
+                blocked: 0,
+                rule: None,
+                forwarded: false,
+            },
+        );
+    }
+
+    fn on_issue(&mut self, cycle: u64, instr: &DynInstr) {
+        if let Some(s) = self.open.get_mut(&instr.seq) {
+            s.issue.get_or_insert(cycle);
+        }
+    }
+
+    fn on_policy_block(&mut self, _cycle: u64, instr: &DynInstr, blame: &Blame) {
+        if let Some(s) = self.open.get_mut(&instr.seq) {
+            s.blocked += 1;
+            s.rule.get_or_insert(blame.rule);
+        }
+    }
+
+    fn on_forward(&mut self, _cycle: u64, instr: &DynInstr, _store_seq: Seq) {
+        if let Some(s) = self.open.get_mut(&instr.seq) {
+            s.forwarded = true;
+        }
+    }
+
+    fn on_writeback(&mut self, cycle: u64, instr: &DynInstr) {
+        if let Some(s) = self.open.get_mut(&instr.seq) {
+            s.writeback.get_or_insert(cycle);
+        }
+    }
+
+    fn on_commit(&mut self, cycle: u64, instr: &DynInstr) {
+        self.finalize(instr.seq, cycle, "commit");
+    }
+
+    fn on_squash(&mut self, cycle: u64, seq: Seq, _pc: u32) {
+        self.finalize(seq, cycle, "squash");
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Summary of a validated trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Complete ("X") span events.
+    pub span_events: usize,
+    /// Metadata ("M") events.
+    pub meta_events: usize,
+    /// Spans with category `"commit"`.
+    pub committed: usize,
+    /// Spans with category `"squash"`.
+    pub squashed: usize,
+    /// Largest `ts + dur` (the trace's cycle horizon).
+    pub max_end: u64,
+    /// The document's `droppedSpans` counter.
+    pub dropped: u64,
+}
+
+/// Re-parses a [`ChromeTraceSink::into_chrome_json`] document and checks
+/// its structural invariants: well-formed JSON, a `traceEvents` array of
+/// "M"/"X" events with the required fields, positive span durations, and
+/// no two spans overlapping on the same lane. Returns a summary on
+/// success and a description of the first violation otherwise.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events =
+        doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing `traceEvents` array")?;
+    let dropped = doc
+        .get("droppedSpans")
+        .and_then(Json::as_i64)
+        .filter(|&n| n >= 0)
+        .ok_or("missing non-negative `droppedSpans`")? as u64;
+    let mut summary = TraceSummary {
+        span_events: 0,
+        meta_events: 0,
+        committed: 0,
+        squashed: 0,
+        max_end: 0,
+        dropped,
+    };
+    let mut lanes: HashMap<i64, Vec<(i64, i64)>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let field_i64 = |key: &str| {
+            e.get(key).and_then(Json::as_i64).ok_or(format!("event {i}: missing `{key}`"))
+        };
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                e.get("name").and_then(Json::as_str).ok_or(format!("event {i}: unnamed"))?;
+                summary.meta_events += 1;
+            }
+            Some("X") => {
+                e.get("name").and_then(Json::as_str).ok_or(format!("event {i}: unnamed"))?;
+                let ts = field_i64("ts")?;
+                let dur = field_i64("dur")?;
+                let tid = field_i64("tid")?;
+                field_i64("pid")?;
+                if ts < 0 || dur < 1 {
+                    return Err(format!("event {i}: bad extent ts={ts} dur={dur}"));
+                }
+                match e.get("cat").and_then(Json::as_str) {
+                    Some("commit") => summary.committed += 1,
+                    Some("squash") => summary.squashed += 1,
+                    other => return Err(format!("event {i}: bad category {other:?}")),
+                }
+                lanes.entry(tid).or_default().push((ts, ts + dur));
+                summary.max_end = summary.max_end.max((ts + dur) as u64);
+                summary.span_events += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (tid, spans) in &mut lanes {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(format!(
+                    "lane {tid}: spans [{}, {}) and [{}, {}) overlap",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_isa::Instr;
+
+    fn feed(sink: &mut ChromeTraceSink, seq: Seq, dispatch: u64, end: u64, squash: bool) {
+        let d = DynInstr::new(seq, seq as u32, Instr::Fence);
+        sink.on_dispatch(dispatch, &d);
+        sink.on_issue(dispatch + 1, &d);
+        sink.on_writeback(end.saturating_sub(1), &d);
+        if squash {
+            sink.on_squash(end, seq, d.pc);
+        } else {
+            sink.on_commit(end, &d);
+        }
+    }
+
+    #[test]
+    fn overlapping_spans_take_distinct_lanes() {
+        let mut sink = ChromeTraceSink::new();
+        feed(&mut sink, 1, 0, 10, false);
+        feed(&mut sink, 2, 5, 12, false); // overlaps span 1
+        feed(&mut sink, 3, 11, 15, true); // fits after span 1 on lane 0
+        let lanes: Vec<usize> = sink.spans().map(|s| s.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 0]);
+        let text = sink.into_chrome_json();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.span_events, 3);
+        assert_eq!((summary.committed, summary.squashed), (2, 1));
+        assert_eq!(summary.max_end, 15);
+        // process_name + one thread_name per lane.
+        assert_eq!(summary.meta_events, 3);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut sink = ChromeTraceSink::with_capacity(2);
+        for seq in 0..5 {
+            feed(&mut sink, seq, seq * 20, seq * 20 + 10, false);
+        }
+        assert_eq!(sink.spans().count(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let summary = validate_chrome_trace(&sink.into_chrome_json()).unwrap();
+        assert_eq!(summary.span_events, 2);
+        assert_eq!(summary.dropped, 3);
+    }
+
+    #[test]
+    fn zero_length_spans_are_widened() {
+        let mut sink = ChromeTraceSink::new();
+        feed(&mut sink, 7, 4, 4, false);
+        assert!(validate_chrome_trace(&sink.into_chrome_json()).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{nope").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        let bad = r#"{"traceEvents": [{"ph": "X", "name": "x"}], "droppedSpans": 0}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        let overlap = r#"{"traceEvents": [
+            {"ph": "X", "name": "a", "cat": "commit", "ts": 0, "dur": 5, "pid": 1, "tid": 0},
+            {"ph": "X", "name": "b", "cat": "commit", "ts": 3, "dur": 5, "pid": 1, "tid": 0}
+        ], "droppedSpans": 0}"#;
+        assert!(validate_chrome_trace(overlap).unwrap_err().contains("overlap"));
+    }
+}

@@ -5,11 +5,13 @@
 #![allow(dead_code)]
 
 use levioso_bench::{Sweep, Tier};
+use levioso_core::Scheme;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
 /// Options every experiment binary understands. The `all` driver
-/// additionally accepts the golden-gate flags (`--check`/`--bless`).
+/// additionally accepts the golden-gate flags (`--check`/`--bless`);
+/// simulating binaries additionally accept `--attrib`.
 #[derive(Debug, Clone)]
 pub struct Opts {
     /// Sweep tier (problem scale + sweep grids).
@@ -21,14 +23,27 @@ pub struct Opts {
     pub check: bool,
     /// Regenerate the tier's golden snapshots.
     pub bless: bool,
+    /// Suppress the rendered reports on stdout (results/ mirroring and
+    /// exit codes are unaffected).
+    pub quiet: bool,
+    /// Additionally emit the delay-attribution report (`ATTRIB_*`).
+    pub attrib: bool,
 }
 
 impl Opts {
     /// Parses process arguments. `gate_flags` enables `--check`/`--bless`
-    /// (the `all` driver); other binaries reject them. Prints usage and
-    /// exits 2 on unknown or malformed arguments.
-    pub fn parse(gate_flags: bool) -> Opts {
-        let mut opts = Opts { tier: tier_from_env(), threads: None, check: false, bless: false };
+    /// (the `all` driver) and `attrib_flag` enables `--attrib` (binaries
+    /// that simulate); others reject them. Prints usage and exits 2 on
+    /// unknown or malformed arguments.
+    pub fn parse(gate_flags: bool, attrib_flag: bool) -> Opts {
+        let mut opts = Opts {
+            tier: tier_from_env(),
+            threads: None,
+            check: false,
+            bless: false,
+            quiet: false,
+            attrib: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -36,19 +51,23 @@ impl Opts {
                 "--paper" => opts.tier = Tier::Paper,
                 "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n > 0 => opts.threads = Some(n),
-                    _ => usage_error(gate_flags, "--threads needs a positive integer"),
+                    _ => usage_error(gate_flags, attrib_flag, "--threads needs a positive integer"),
                 },
                 "--check" if gate_flags => opts.check = true,
                 "--bless" if gate_flags => opts.bless = true,
+                "--quiet" | "-q" => opts.quiet = true,
+                "--attrib" if attrib_flag => opts.attrib = true,
                 "--help" | "-h" => {
-                    eprintln!("{}", usage(gate_flags));
+                    eprintln!("{}", usage(gate_flags, attrib_flag));
                     exit(0);
                 }
-                other => usage_error(gate_flags, &format!("unknown argument `{other}`")),
+                other => {
+                    usage_error(gate_flags, attrib_flag, &format!("unknown argument `{other}`"))
+                }
             }
         }
         if opts.check && opts.bless {
-            usage_error(gate_flags, "--check and --bless are mutually exclusive");
+            usage_error(gate_flags, attrib_flag, "--check and --bless are mutually exclusive");
         }
         opts
     }
@@ -71,23 +90,29 @@ fn tier_from_env() -> Tier {
     }
 }
 
-fn usage(gate_flags: bool) -> String {
+fn usage(gate_flags: bool, attrib_flag: bool) -> String {
     let gate = if gate_flags {
         "\n  --check        compare against results/golden/<tier>/ and exit nonzero on drift\
          \n  --bless        regenerate the tier's golden snapshots"
     } else {
         ""
     };
+    let attrib = if attrib_flag {
+        "\n  --attrib       also emit the delay-attribution report (ATTRIB_*)"
+    } else {
+        ""
+    };
     format!(
-        "usage: [--smoke|--paper] [--threads N]{gate}\n\
+        "usage: [--smoke|--paper] [--threads N] [--quiet]{gate}{attrib}\n\
          \n  --smoke        reduced problem sizes and sweep grids (the CI tier)\
          \n  --paper        full evaluation settings (default; or LEVIOSO_SCALE env)\
-         \n  --threads N    worker threads (default: LEVIOSO_THREADS or all cores)"
+         \n  --threads N    worker threads (default: LEVIOSO_THREADS or all cores)\
+         \n  --quiet, -q    suppress rendered reports on stdout"
     )
 }
 
-fn usage_error(gate_flags: bool, message: &str) -> ! {
-    eprintln!("error: {message}\n{}", usage(gate_flags));
+fn usage_error(gate_flags: bool, attrib_flag: bool, message: &str) -> ! {
+    eprintln!("error: {message}\n{}", usage(gate_flags, attrib_flag));
     exit(2)
 }
 
@@ -179,12 +204,14 @@ pub fn throughput_json(
     )
 }
 
-/// Prints a rendered report and, at paper tier, mirrors it (plus optional
-/// JSON) into `results/`. Smoke-tier runs never overwrite the recorded
-/// paper-scale snapshots.
-pub fn emit(tier: Tier, id: &str, rendered: &str, json: Option<String>) {
-    println!("{rendered}");
-    if tier != Tier::Paper {
+/// Prints a rendered report (unless `--quiet`) and, at paper tier,
+/// mirrors it (plus optional JSON) into `results/`. Smoke-tier runs
+/// never overwrite the recorded paper-scale snapshots.
+pub fn emit(opts: &Opts, id: &str, rendered: &str, json: Option<String>) {
+    if !opts.quiet {
+        println!("{rendered}");
+    }
+    if opts.tier != Tier::Paper {
         return;
     }
     let dir = results_dir();
@@ -194,4 +221,16 @@ pub fn emit(tier: Tier, id: &str, rendered: &str, json: Option<String>) {
             let _ = std::fs::write(dir.join(format!("{id}.json")), j);
         }
     }
+}
+
+/// When `--attrib` was given: runs the delay-attribution report for
+/// `schemes` over the tier's workload suite (default core config) and
+/// emits it as `ATTRIB_<id>` next to the binary's main report.
+pub fn emit_attrib(opts: &Opts, sweep: &Sweep, id: &str, schemes: &[Scheme]) {
+    if !opts.attrib {
+        return;
+    }
+    let report = levioso_bench::attribution_report(sweep, opts.tier.scale(), schemes);
+    let (text, json) = levioso_bench::render_attribution(&report);
+    emit(opts, &format!("ATTRIB_{id}"), &text, Some(json));
 }

@@ -14,7 +14,7 @@
 //! | [`CommitDelay`] | transmits | branch **commit** | comprehensive (the paper's ≈51 % class) |
 //! | [`ExecuteDelay`] | transmits | branch **execute** | comprehensive (the paper's ≈43 % class) |
 
-use levioso_uarch::{DynInstr, Gate, LoadMode, SpecView, SpeculationPolicy};
+use levioso_uarch::{DelayExplanation, DynInstr, Gate, LoadMode, SpecView, SpeculationPolicy};
 
 /// Fence-after-every-branch: no instruction executes under an unresolved
 /// older control instruction. The classic software mitigation's cost
@@ -32,6 +32,13 @@ impl SpeculationPolicy for Fence {
             Gate::Delay
         } else {
             Gate::Allow
+        }
+    }
+
+    fn explain_execute_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "fence:unresolved-shadow",
+            blocking: view.unresolved_of(&instr.shadow),
         }
     }
 }
@@ -66,6 +73,20 @@ impl SpeculationPolicy for DelayOnMiss {
             LoadMode::Normal
         }
     }
+
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "delay-on-miss:speculative-flush",
+            blocking: view.unresolved_of(&instr.shadow),
+        }
+    }
+
+    fn explain_load_mode_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "delay-on-miss:l1-miss-under-shadow",
+            blocking: view.unresolved_of(&instr.shadow),
+        }
+    }
 }
 
 /// STT-style speculative taint tracking (sandbox threat model): a transmit
@@ -88,6 +109,13 @@ impl SpeculationPolicy for Stt {
             Gate::Allow
         }
     }
+
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "stt:tainted-operand",
+            blocking: view.active_taints_of(&instr.taint_roots),
+        }
+    }
 }
 
 /// Comprehensive delay-until-commit (the stricter prior defense, the
@@ -108,6 +136,13 @@ impl SpeculationPolicy for CommitDelay {
             Gate::Allow
         }
     }
+
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "commit-delay:uncommitted-shadow",
+            blocking: view.uncommitted_of(&instr.shadow),
+        }
+    }
 }
 
 /// Comprehensive delay-until-execute (the cheaper prior defense, the
@@ -126,6 +161,13 @@ impl SpeculationPolicy for ExecuteDelay {
             Gate::Delay
         } else {
             Gate::Allow
+        }
+    }
+
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "execute-delay:unresolved-shadow",
+            blocking: view.unresolved_of(&instr.shadow),
         }
     }
 }

@@ -17,7 +17,7 @@
 //! resolves, either the dependents were on the correct path (and transmit
 //! reveals nothing transient) or they are being squashed.
 
-use levioso_uarch::{DynInstr, Gate, SpecView, SpeculationPolicy};
+use levioso_uarch::{DelayExplanation, DynInstr, Gate, SpecView, SpeculationPolicy};
 
 /// Which dependency set the scheme consults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +80,19 @@ impl SpeculationPolicy for Levioso {
             Gate::Delay
         } else {
             Gate::Allow
+        }
+    }
+
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        match self.variant {
+            LeviosoVariant::Full => DelayExplanation {
+                rule: "levioso:true-dep-unresolved",
+                blocking: view.unresolved_of(&instr.lev_deps),
+            },
+            LeviosoVariant::AnnotationOnly => DelayExplanation {
+                rule: "levioso-static:ann-dep-unresolved",
+                blocking: view.unresolved_of(&instr.ann_deps),
+            },
         }
     }
 }

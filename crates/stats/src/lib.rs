@@ -7,7 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use levioso_support::{Json, JsonError};
+use levioso_support::{Histogram, Json, JsonError};
 use std::fmt;
 
 /// Geometric mean of strictly positive values.
@@ -145,6 +145,39 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// Renders one or more [`Histogram`]s side by side as an aligned table:
+/// one row per log2 bucket that is non-empty in *any* series, one count
+/// column per series, plus a summary row with count / mean / p99-upper.
+///
+/// Used by the delay-attribution report (`--attrib`, `levitrace`) to show
+/// per-rule blocked-cycle distributions next to each other.
+pub fn histogram_table(title: impl Into<String>, series: &[(&str, &Histogram)]) -> Table {
+    let mut headers: Vec<&str> = vec!["delay (cycles)"];
+    headers.extend(series.iter().map(|(name, _)| *name));
+    let mut t = Table::new(title, &headers);
+    let mut indices: Vec<usize> =
+        series.iter().flat_map(|(_, h)| h.buckets().map(|(i, _, _, _)| i)).collect();
+    indices.sort_unstable();
+    indices.dedup();
+    for i in indices {
+        let lo = Histogram::bucket_lo(i);
+        let hi = Histogram::bucket_hi(i);
+        let label = if lo == hi { format!("{lo}") } else { format!("{lo}..{hi}") };
+        let mut row = vec![label];
+        for (_, h) in series {
+            let n = h.buckets().find(|&(j, _, _, _)| j == i).map_or(0, |(_, _, _, n)| n);
+            row.push(if n == 0 { "-".to_string() } else { n.to_string() });
+        }
+        t.push_row(row);
+    }
+    let mut summary = vec!["n / mean / p99".to_string()];
+    for (_, h) in series {
+        summary.push(format!("{} / {:.1} / {}", h.count(), h.mean(), h.quantile_hi(0.99)));
+    }
+    t.push_row(summary);
+    t
 }
 
 /// One named series of `(x-label, y)` points — a bar group or line in a
@@ -327,6 +360,24 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"quo\"\"te\""));
+    }
+
+    #[test]
+    fn histogram_table_unions_buckets_across_series() {
+        let mut a = Histogram::new();
+        a.record_n(1, 5);
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record_n(3, 2);
+        let t = histogram_table("delays", &[("exec", &a), ("xmit", &b)]);
+        assert_eq!(t.headers, vec!["delay (cycles)", "exec", "xmit"]);
+        // Union of non-empty buckets: {1}, {2..3}, {8..15}, plus summary.
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0], vec!["1", "5", "-"]);
+        assert_eq!(t.rows[1], vec!["2..3", "-", "2"]);
+        assert_eq!(t.rows[2], vec!["8..15", "1", "-"]);
+        assert!(t.rows[3][0].starts_with("n / mean"));
+        assert!(t.rows[3][1].starts_with("6 / "));
     }
 
     #[test]

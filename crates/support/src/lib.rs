@@ -13,6 +13,7 @@
 //! | [`check`] | `proptest` | seeded generators, an iteration budget, failing-input reports |
 //! | [`bench`] | `criterion` | a wall-clock benchmark runner with a compatible surface |
 //! | [`pool`] | `rayon` | a scoped worker pool with order-stable, panic-transparent fan-out |
+//! | [`histogram`] | `hdrhistogram` | fixed-footprint log2-bucketed latency histograms |
 //!
 //! All randomness is deterministic: the same seed always reproduces the
 //! same stream, on every platform, so property tests and workload inputs
@@ -23,12 +24,14 @@
 
 pub mod bench;
 pub mod check;
+pub mod histogram;
 pub mod json;
 pub mod pool;
 pub mod rng;
 
 pub use bench::{BatchSize, Bench, Bencher};
 pub use check::{Config, Gen};
+pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use pool::Pool;
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -36,14 +36,19 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total accesses (hits plus misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
     pub fn miss_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.misses as f64 / total as f64
-        }
+        crate::stats::ratio(self.misses, self.accesses())
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        crate::stats::ratio(self.hits, self.accesses())
     }
 }
 
@@ -235,6 +240,18 @@ mod tests {
         assert!(c.access(0x1000, 1));
         assert!(c.access(0x1030, 2), "same line");
         assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn stats_ratios_are_complementary_and_zero_safe() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.hit_ratio() + s.miss_ratio() - 1.0).abs() < 1e-12);
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_ratio(), 0.0);
+        assert_eq!(empty.miss_ratio(), 0.0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::predictor::Predictor;
 use crate::refsets::RefSets;
 use crate::specmask::SlotTable;
 use crate::stats::SimStats;
+use crate::trace::{Blame, BlamedKind, BlamedSlot, DelayExplanation, TraceSink};
 use levioso_isa::{read_memory, write_memory, DepSet, Instr, Memory, Program, Reg};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
@@ -79,6 +80,18 @@ enum IssueAction {
     Flush { idx: usize, addr: u64 },
     /// Store address generation.
     StoreAddr { idx: usize, addr: u64 },
+}
+
+/// Which gate produced a `Delay` verdict in phase A, so the blame pass
+/// can ask the policy the matching `explain_*_delay` question.
+#[derive(Debug, Clone, Copy)]
+enum DelayCause {
+    /// `may_execute` returned `Delay`.
+    Execute,
+    /// `may_transmit` returned `Delay`.
+    Transmit,
+    /// A `LoadMode::HitOnly` load missed in the L1.
+    LoadMiss,
 }
 
 /// Per-cycle execution-unit budget consumed during the issue scan.
@@ -191,11 +204,15 @@ pub struct Simulator<'p> {
     // Reused per-cycle scratch buffers (no steady-state allocation).
     scratch_actions: Vec<IssueAction>,
     scratch_first_ready: Vec<(usize, bool, bool)>,
-    scratch_delayed: Vec<usize>,
+    scratch_delayed: Vec<(usize, DelayCause)>,
 
     /// Differential-checking oracle (old Vec-based set semantics), enabled
     /// by tests via [`Simulator::enable_reference_checking`].
     refsets: Option<Box<RefSets>>,
+
+    /// Observability sink (see [`crate::trace`]); `None` in production
+    /// runs, where every hook reduces to one branch.
+    tracer: Option<Box<dyn TraceSink>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -233,7 +250,20 @@ impl<'p> Simulator<'p> {
             scratch_first_ready: Vec::new(),
             scratch_delayed: Vec::new(),
             refsets: None,
+            tracer: None,
         }
+    }
+
+    /// Attaches a trace sink; subsequent pipeline events are reported to
+    /// it (call before [`Simulator::run`] to observe the whole run).
+    pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one is attached. Recover
+    /// the concrete type with [`TraceSink::into_any`].
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
     }
 
     /// Committed architectural value of register `r`.
@@ -488,6 +518,9 @@ impl<'p> Simulator<'p> {
             r.on_commit(e, waits);
             self.refsets = Some(r);
         }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_commit(self.cycle, e);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -521,6 +554,9 @@ impl<'p> Simulator<'p> {
                     r.on_load_done(seq);
                     self.refsets = Some(r);
                 }
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.on_writeback(self.cycle, &self.rob[idx]);
             }
             // Wake consumers along this producer's chain.
             if self.rob[idx].instr.dest().is_some() {
@@ -572,6 +608,10 @@ impl<'p> Simulator<'p> {
             let mut r = self.refsets.take().expect("checked");
             r.on_resolve(seq, self.cycle);
             self.refsets = Some(r);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            // A stalling indirect never predicted, so it cannot mispredict.
+            t.on_resolve(self.cycle, &self.rob[idx], !was_stalling && actual != predicted);
         }
 
         // Train.
@@ -647,6 +687,9 @@ impl<'p> Simulator<'p> {
             }
             if e.instr.is_store() {
                 self.sq_count -= 1;
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.on_squash(self.cycle, e.seq, e.pc);
             }
         }
         // Drop squashed entries from the ready set (stale completion-heap
@@ -746,13 +789,34 @@ impl<'p> Simulator<'p> {
             }
         }
 
+        // Blame pass: with a sink attached, explain this cycle's policy
+        // blocks *before* phase B mutates the state the verdicts were
+        // computed from (so the blocking masks the policy reports match
+        // the masks its gates actually saw).
+        if self.tracer.is_some() {
+            let mut t = self.tracer.take().expect("checked");
+            {
+                let view = SpecView { slots: &self.slots, rob: &self.rob };
+                for &(idx, cause) in &delayed {
+                    let e = &self.rob[idx];
+                    let expl = match cause {
+                        DelayCause::Execute => policy.explain_execute_delay(e, &view),
+                        DelayCause::Transmit => policy.explain_transmit_delay(e, &view),
+                        DelayCause::LoadMiss => policy.explain_load_mode_delay(e, &view),
+                    };
+                    t.on_policy_block(self.cycle, e, &self.blame_of(&expl));
+                }
+            }
+            self.tracer = Some(t);
+        }
+
         // Phase B: apply.
         for &(idx, sh, td) in &first_ready {
             self.rob[idx].ready_while_shadowed = Some(sh);
             self.rob[idx].ready_while_true_dep = Some(td);
             self.rob[idx].first_ready_cycle = Some(self.cycle);
         }
-        for &idx in &delayed {
+        for &(idx, _) in &delayed {
             self.rob[idx].policy_delay_cycles += 1;
         }
         for action in actions.drain(..) {
@@ -768,6 +832,9 @@ impl<'p> Simulator<'p> {
                     self.iq_count -= 1;
                     self.ready.remove(&seq);
                     self.completions.push(Reverse((done, seq)));
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.on_issue(self.cycle, &self.rob[idx]);
+                    }
                 }
                 IssueAction::Forward { idx, store_idx, addr } => {
                     let store_seq = self.rob[store_idx].seq;
@@ -825,6 +892,10 @@ impl<'p> Simulator<'p> {
                         r.on_forward(seq, store_seq, &self.rob[lidx], &self.slots, &view);
                         self.refsets = Some(r);
                     }
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.on_forward(self.cycle, &self.rob[idx], store_seq);
+                        t.on_issue(self.cycle, &self.rob[idx]);
+                    }
                 }
                 IssueAction::Access { idx, addr, value, hit_only } => {
                     let latency = if hit_only {
@@ -837,6 +908,13 @@ impl<'p> Simulator<'p> {
                                 // instruction stays dispatched and in the
                                 // ready set).
                                 self.rob[idx].policy_delay_cycles += 1;
+                                if let Some(t) = self.tracer.as_deref_mut() {
+                                    t.on_policy_block(
+                                        self.cycle,
+                                        &self.rob[idx],
+                                        &Blame { rule: "core:l1-race-retry", blamed: None },
+                                    );
+                                }
                                 continue;
                             }
                         }
@@ -860,6 +938,9 @@ impl<'p> Simulator<'p> {
                     self.iq_count -= 1;
                     self.ready.remove(&seq);
                     self.completions.push(Reverse((done, seq)));
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.on_issue(self.cycle, &self.rob[idx]);
+                    }
                 }
                 IssueAction::Flush { idx, addr } => {
                     self.hierarchy.flush_line(addr);
@@ -873,6 +954,9 @@ impl<'p> Simulator<'p> {
                     self.iq_count -= 1;
                     self.ready.remove(&seq);
                     self.completions.push(Reverse((done, seq)));
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.on_issue(self.cycle, &self.rob[idx]);
+                    }
                 }
                 IssueAction::StoreAddr { idx, addr } => {
                     let e = &mut self.rob[idx];
@@ -884,6 +968,9 @@ impl<'p> Simulator<'p> {
                     self.iq_count -= 1;
                     self.ready.remove(&seq);
                     self.completions.push(Reverse((done, seq)));
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.on_issue(self.cycle, &self.rob[idx]);
+                    }
                 }
             }
         }
@@ -906,7 +993,7 @@ impl<'p> Simulator<'p> {
         units: &mut IssueUnits,
         actions: &mut Vec<IssueAction>,
         first_ready: &mut Vec<(usize, bool, bool)>,
-        delayed: &mut Vec<usize>,
+        delayed: &mut Vec<(usize, DelayCause)>,
     ) {
         let mut all_older_done = true;
         let mut serializer_block = false;
@@ -964,7 +1051,7 @@ impl<'p> Simulator<'p> {
         units: &mut IssueUnits,
         actions: &mut Vec<IssueAction>,
         first_ready: &mut Vec<(usize, bool, bool)>,
-        delayed: &mut Vec<usize>,
+        delayed: &mut Vec<(usize, DelayCause)>,
     ) {
         let e = &self.rob[idx];
         // Store address generation needs only the base operand.
@@ -985,7 +1072,7 @@ impl<'p> Simulator<'p> {
 
         // Universal execute gate.
         if policy.may_execute(e, view) == Gate::Delay {
-            delayed.push(idx);
+            delayed.push((idx, DelayCause::Execute));
             return;
         }
 
@@ -1075,7 +1162,7 @@ impl<'p> Simulator<'p> {
                     return;
                 }
                 if policy.may_transmit(e, view) == Gate::Delay {
-                    delayed.push(idx);
+                    delayed.push((idx, DelayCause::Transmit));
                     return;
                 }
                 units.ld_ports -= 1;
@@ -1093,7 +1180,7 @@ impl<'p> Simulator<'p> {
                     LsqVerdict::Blocked => {}
                     LsqVerdict::Forward(store_idx) => {
                         if policy.may_transmit(e, view) == Gate::Delay {
-                            delayed.push(idx);
+                            delayed.push((idx, DelayCause::Transmit));
                             return;
                         }
                         units.ld_ports -= 1;
@@ -1102,7 +1189,7 @@ impl<'p> Simulator<'p> {
                     }
                     LsqVerdict::Memory => {
                         if policy.may_transmit(e, view) == Gate::Delay {
-                            delayed.push(idx);
+                            delayed.push((idx, DelayCause::Transmit));
                             return;
                         }
                         let hit_only = policy.load_mode(e, view) == LoadMode::HitOnly;
@@ -1110,7 +1197,7 @@ impl<'p> Simulator<'p> {
                         if hit_only && !is_l1_hit {
                             // Delay-on-Miss: must wait instead of filling
                             // speculatively.
-                            delayed.push(idx);
+                            delayed.push((idx, DelayCause::LoadMiss));
                             return;
                         }
                         if !is_l1_hit {
@@ -1145,6 +1232,34 @@ impl<'p> Simulator<'p> {
                 units.issued += 1;
             }
         }
+    }
+
+    /// Converts a policy's [`DelayExplanation`] into a concrete [`Blame`]:
+    /// the *oldest* slot in the blocking mask is the one whose resolution
+    /// the block is actually waiting on. Control slots carry their own pc;
+    /// a load slot's pc comes from its live ROB entry.
+    fn blame_of(&self, expl: &DelayExplanation) -> Blame {
+        let mut oldest: Option<(Seq, u16)> = None;
+        for slot in expl.blocking.iter() {
+            let seq = self.slots.seq_of(slot);
+            if oldest.is_none_or(|(s, _)| seq < s) {
+                oldest = Some((seq, slot));
+            }
+        }
+        let blamed = oldest.map(|(seq, slot)| {
+            if self.slots.live_load.contains(slot) {
+                let pc = self.rob_index(seq).map_or(0, |i| self.rob[i].pc);
+                BlamedSlot { kind: BlamedKind::Load, seq, pc }
+            } else {
+                let kind = if self.slots.indirect.contains(slot) {
+                    BlamedKind::Indirect
+                } else {
+                    BlamedKind::Branch
+                };
+                BlamedSlot { kind, seq, pc: self.slots.pc_of(slot) }
+            }
+        });
+        Blame { rule: expl.rule, blamed }
     }
 
     /// Memory-ordering verdict for a load at ROB index `idx`.
@@ -1314,6 +1429,9 @@ impl<'p> Simulator<'p> {
                 r.on_dispatch(&e, ann, &inherit, &self.slots, &view);
                 self.refsets = Some(r);
             }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.on_dispatch(self.cycle, &e);
+            }
             self.rob.push_back(e);
         }
     }
@@ -1382,6 +1500,9 @@ impl<'p> Simulator<'p> {
                 _ => {}
             }
             self.stats.fetched += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.on_fetch(self.cycle, pc, &instr);
+            }
             let next = fetched.predicted_next;
             let stall = fetched.stalls_fetch;
             self.fetch_queue.push_back(fetched);

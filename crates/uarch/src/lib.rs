@@ -28,6 +28,7 @@ pub mod predictor;
 mod refsets;
 pub mod specmask;
 pub mod stats;
+pub mod trace;
 
 pub use crate::core::{SimError, Simulator};
 pub use cache::{CacheStats, Hierarchy, SetAssocCache};
@@ -37,3 +38,4 @@ pub use policy::{Gate, LoadMode, SpecView, SpeculationPolicy, UnsafeBaseline};
 pub use predictor::Predictor;
 pub use specmask::SpecMask;
 pub use stats::SimStats;
+pub use trace::{Blame, BlamedKind, BlamedSlot, DelayExplanation, NullSink, Tee, TraceSink};

@@ -16,6 +16,7 @@
 
 use crate::dyninstr::{DynInstr, Seq};
 use crate::specmask::{SlotTable, SpecMask};
+use crate::trace::DelayExplanation;
 use std::collections::VecDeque;
 
 /// Verdict for an execution attempt this cycle.
@@ -76,6 +77,33 @@ impl<'a> SpecView<'a> {
         live.iter().any(|slot| self.slots.shadow_of(slot).intersects(&self.slots.unresolved))
     }
 
+    /// The subset of `deps` that is still unresolved — the mask behind
+    /// [`SpecView::any_unresolved`], for blame reporting.
+    pub fn unresolved_of(&self, deps: &SpecMask) -> SpecMask {
+        deps.and(&self.slots.unresolved)
+    }
+
+    /// The subset of `deps` that has not yet committed — the mask behind
+    /// [`SpecView::any_uncommitted`], for blame reporting.
+    pub fn uncommitted_of(&self, deps: &SpecMask) -> SpecMask {
+        deps.and(&self.slots.live_ctrl)
+    }
+
+    /// The subset of `roots` that is currently taint-active — the mask
+    /// behind [`SpecView::any_taint_active`], for blame reporting.
+    pub fn active_taints_of(&self, roots: &SpecMask) -> SpecMask {
+        let live = roots.and(&self.slots.live_load);
+        let mut out = SpecMask::EMPTY;
+        for slot in live.iter() {
+            if !self.slots.load_done.contains(slot)
+                || self.slots.shadow_of(slot).intersects(&self.slots.unresolved)
+            {
+                out.set(slot);
+            }
+        }
+        out
+    }
+
     /// The ROB entry for `seq`, if still in flight. Sequence numbers are
     /// ascending but not contiguous in the ROB (squashes leave gaps).
     pub fn entry(&self, seq: Seq) -> Option<&DynInstr> {
@@ -110,6 +138,41 @@ pub trait SpeculationPolicy: std::fmt::Debug {
     /// How a transmit-permitted load may access the cache.
     fn load_mode(&self, _instr: &DynInstr, _view: &SpecView<'_>) -> LoadMode {
         LoadMode::Normal
+    }
+
+    /// Explains a `Delay` verdict [`SpeculationPolicy::may_execute`] just
+    /// issued for `instr` (see [`crate::trace`]). Only called by the core
+    /// when a trace sink is attached, in the same cycle as the verdict and
+    /// before any state changes, so the returned mask reflects exactly
+    /// the state the verdict was computed from. Policies overriding
+    /// `may_execute` with a `Delay` path should override this to name
+    /// their rule; the default reports the conservative shadow.
+    fn explain_execute_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "policy:execute-gate",
+            blocking: view.unresolved_of(&instr.shadow),
+        }
+    }
+
+    /// Explains a `Delay` verdict from [`SpeculationPolicy::may_transmit`]
+    /// (same contract as [`SpeculationPolicy::explain_execute_delay`]).
+    fn explain_transmit_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "policy:transmit-gate",
+            blocking: view.unresolved_of(&instr.shadow),
+        }
+    }
+
+    /// Explains a blocked cycle caused by a `LoadMode::HitOnly` load
+    /// missing in the L1 (same contract as
+    /// [`SpeculationPolicy::explain_execute_delay`]). The default rule
+    /// fits any hit-only scheme; the blocking set is the unresolved
+    /// shadow that put the load under speculation.
+    fn explain_load_mode_delay(&self, instr: &DynInstr, view: &SpecView<'_>) -> DelayExplanation {
+        DelayExplanation {
+            rule: "policy:miss-under-speculation",
+            blocking: view.unresolved_of(&instr.shadow),
+        }
     }
 }
 

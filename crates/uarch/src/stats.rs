@@ -63,71 +63,53 @@ pub struct SimStats {
     pub transient_fills: u64,
 }
 
+/// `num / den` as `f64`, defined as 0 when the denominator is 0 — the
+/// convention every derived metric here uses for empty runs.
+pub(crate) fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 impl SimStats {
     /// Committed instructions per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+        ratio(self.committed, self.cycles)
     }
 
     /// Transient cache fills per kilo-instruction (committed) — the
     /// side-channel exposure metric (F6).
     pub fn transient_fills_pki(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.transient_fills as f64 * 1000.0 / self.committed as f64
-        }
+        ratio(self.transient_fills * 1000, self.committed)
     }
 
     /// Mispredictions per kilo-instruction (committed).
     pub fn mpki(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.mispredicts as f64 * 1000.0 / self.committed as f64
-        }
+        ratio(self.mispredicts * 1000, self.committed)
     }
 
     /// Mean conservative wait per committed instruction (F1).
     pub fn shadow_wait_per_instr(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.shadow_wait_cycles as f64 / self.committed as f64
-        }
+        ratio(self.shadow_wait_cycles, self.committed)
     }
 
     /// Mean true-dependency wait per committed instruction (F1).
     pub fn true_wait_per_instr(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.true_wait_cycles as f64 / self.committed as f64
-        }
+        ratio(self.true_wait_cycles, self.committed)
     }
 
     /// Fraction of committed instructions under the conservative
     /// speculation shadow at readiness (F1).
     pub fn shadowed_fraction(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.ready_while_shadowed as f64 / self.committed as f64
-        }
+        ratio(self.ready_while_shadowed, self.committed)
     }
 
     /// Fraction of committed instructions with an unresolved *true*
     /// dependency at readiness (F1).
     pub fn true_dep_fraction(&self) -> f64 {
-        if self.committed == 0 {
-            0.0
-        } else {
-            self.ready_while_true_dep as f64 / self.committed as f64
-        }
+        ratio(self.ready_while_true_dep, self.committed)
     }
 }
 

@@ -21,6 +21,10 @@
 #                         golden gate just wrote — fails if it is missing
 #                         or malformed, so simulator-throughput tracking
 #                         cannot silently rot
+#   7. trace smoke:       levitrace traces one smoke cell, exporting the
+#                         Chrome/Perfetto trace and proving blame
+#                         conservation + JSON round-trip (the binary
+#                         exits nonzero on either violation)
 #
 # Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
 
@@ -53,4 +57,8 @@ cargo run -q --release --offline -p levioso-bench --bin all -- --smoke --check
 echo "==> simulator throughput snapshot"
 cargo run -q --release --offline -p levioso-bench --bin perfcheck
 
-echo "==> OK: build, format, lints, tests, golden gate, and throughput snapshot all green in $((SECONDS - start))s"
+echo "==> trace smoke: levitrace conservation + round-trip on one cell"
+cargo run -q --release --offline -p levioso-bench --bin levitrace -- \
+  --smoke --workload filter_scan --scheme levioso --out target/ci_trace.json --quiet
+
+echo "==> OK: build, format, lints, tests, golden gate, throughput snapshot, and trace smoke all green in $((SECONDS - start))s"

@@ -8,17 +8,38 @@
 # The second run's snapshot is the one left on disk; the recorded
 # `baseline` object is preserved across runs (see the `all` driver).
 #
-# Usage: scripts/perf.sh [--threads N]   (default: 1 — single-threaded
-#        numbers are the comparable ones; see DESIGN.md "Hot path &
-#        performance model")
+# With --ab the second run instead attaches the no-op trace sink to every
+# cell (LEVIOSO_TRACE=null), turning the run-to-run delta into a
+# measurement of the enabled-hook overhead ceiling: the trace layer's
+# contract is that a hooked-but-idle pipeline stays within 1% of the
+# unhooked one (see DESIGN.md §9).
+#
+# Usage: scripts/perf.sh [--threads N] [--ab]
+#        (default threads: 1 — single-threaded numbers are the comparable
+#        ones; see DESIGN.md "Hot path & performance model")
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 threads=1
-if [[ "${1:-}" == "--threads" && -n "${2:-}" ]]; then
-  threads=$2
-fi
+ab=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads)
+      threads=${2:?--threads needs a value}
+      shift 2
+      ;;
+    --ab)
+      ab=1
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      echo "usage: scripts/perf.sh [--threads N] [--ab]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "==> building release binaries"
 cargo build -q --release --offline -p levioso-bench
@@ -28,22 +49,44 @@ extract() {
     | sed -n 's/^PERF .*cells_per_busy_sec=\([0-9.]*\).*$/\1/p' | head -1
 }
 
-echo "==> paper-tier sweep, run 1 of 2 (--threads $threads)"
+run_a_label="run 1 of 2"
+run_b_label="run 2 of 2"
+run_b_env=()
+if (( ab )); then
+  run_a_label="A (no sink)"
+  run_b_label="B (NullSink attached)"
+  run_b_env=(env LEVIOSO_TRACE=null)
+fi
+
+echo "==> paper-tier sweep, $run_a_label (--threads $threads)"
 cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
 cargo run -q --release --offline -p levioso-bench --bin perfcheck
 r1=$(extract)
 
-echo "==> paper-tier sweep, run 2 of 2 (--threads $threads)"
-cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
+echo "==> paper-tier sweep, $run_b_label (--threads $threads)"
+"${run_b_env[@]}" cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
 cargo run -q --release --offline -p levioso-bench --bin perfcheck
 r2=$(extract)
 
 # Percent delta between the two runs, in pure shell arithmetic (no bc on
-# the CI image): scale to integer thousandths first.
+# the CI image): scale to integer thousandths first. The --ab verdict
+# uses per-mille resolution, since its threshold is 1%.
 to_milli() { awk -v v="$1" 'BEGIN { printf "%d", v * 1000 }'; }
 m1=$(to_milli "$r1")
 m2=$(to_milli "$r2")
-if [[ "$m1" -gt 0 ]]; then
+if (( ab )); then
+  if [[ "$m1" -gt 0 ]]; then
+    permille=$(( (m1 - m2) * 1000 / m1 ))
+    echo "==> cells/busy-sec: A=$r1 B=$r2 (hooked-but-idle slowdown ${permille} per mille)"
+    if (( permille > 10 )); then
+      echo "==> WARNING: NullSink run >1% slower than bare run — trace hooks are not zero-cost-when-idle"
+      exit 1
+    fi
+    echo "==> OK: hooked-but-idle overhead within the 1% budget"
+  else
+    echo "==> cells/busy-sec: A=$r1 B=$r2 (run A too fast to resolve; no verdict)"
+  fi
+elif [[ "$m1" -gt 0 ]]; then
   delta=$(( (m2 - m1) * 100 / m1 ))
   echo "==> cells/busy-sec: run1=$r1 run2=$r2 (run-to-run delta ${delta}%)"
   if (( delta > 10 || delta < -10 )); then
