@@ -31,7 +31,8 @@ pub mod receiver;
 
 pub use gadgets::Gadget;
 pub use harness::{
-    attack_leaks, expected_matrix, run_attack, security_matrix, AttackKind, AttackRun, MatrixRow,
+    attack_leaks, attack_leaks_seeded, expected_matrix, run_attack, security_matrix,
+    seeded_secret_pair, AttackKind, AttackRun, MatrixRow,
 };
 pub use prime_probe::{run_prime_probe, PrimeProbeResult};
 pub use receiver::{oracle_line, ProbeResult};

@@ -2,7 +2,9 @@
 //! the receiver actually recovering (or failing to recover) planted
 //! secrets through timed loads inside the simulation.
 
-use levioso_attacks::{attack_leaks, expected_matrix, run_attack, AttackKind};
+use levioso_attacks::{
+    attack_leaks, attack_leaks_seeded, expected_matrix, run_attack, seeded_secret_pair, AttackKind,
+};
 use levioso_core::Scheme;
 
 #[test]
@@ -21,6 +23,34 @@ fn security_matrix_matches_documented_coverage() {
         }
     }
     assert!(failures.is_empty(), "matrix mismatches:\n{}", failures.join("\n"));
+}
+
+/// Regression pin for the seeded-pair fix: the matrix cell must require the
+/// receiver to *distinguish* two distinct seeded secrets, and under that
+/// stricter check the unsafe baseline still loses every attack while the
+/// comprehensive schemes still block them — across several seeds, so no
+/// single lucky pair carries the verdict.
+#[test]
+fn seeded_secret_pairs_are_distinct_and_unsafe_still_loses() {
+    for seed in [0u64, 1, 7, 0xdead_beef] {
+        for kind in AttackKind::ALL {
+            let (a, b) = seeded_secret_pair(kind, seed);
+            assert_ne!(a, b, "{kind} seed {seed}: pair must be distinct");
+            assert!(a < 16 && b < 16, "{kind} seed {seed}: pair must fit the oracle");
+            assert!(
+                attack_leaks_seeded(kind, Scheme::Unsafe, seed),
+                "{kind} seed {seed}: unsafe baseline must leak both secrets"
+            );
+            assert!(
+                !attack_leaks_seeded(kind, Scheme::Levioso, seed),
+                "{kind} seed {seed}: levioso must block"
+            );
+        }
+    }
+    // Different attacks must not all share one pair at a given seed.
+    let pairs: Vec<(usize, usize)> =
+        AttackKind::ALL.iter().map(|&k| seeded_secret_pair(k, 0)).collect();
+    assert!(pairs.windows(2).any(|w| w[0] != w[1]), "kinds draw from distinct streams: {pairs:?}");
 }
 
 #[test]

@@ -14,6 +14,7 @@
 //! | F5 | [`mem_sweep_figure`] | `fig5_mem_sweep` |
 //! | T2 | [`security_table`] | `table2_security` |
 //! | T3 | [`annotation_table`] | `table3_annotation` |
+//! | T4 | [`noninterference_report`] | `table4_noninterference` |
 //!
 //! Every figure decomposes into independent `(workload, scheme, config)`
 //! simulation cells that a [`Sweep`] executor fans out across threads;
@@ -75,14 +76,36 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     stats
 }
 
+/// Parses a `LEVIOSO_TRACE` value: unset or empty means off, `null` means
+/// the null-sink A/B mode, anything else is an error. Rejecting unknown
+/// values matters because this variable changes what `scripts/perf.sh --ab`
+/// measures — a typo (`LEVIOSO_TRACE=nulll`) silently measuring the wrong
+/// thing is worse than a crash.
+fn parse_trace_env(value: Option<&str>) -> Result<bool, String> {
+    match value {
+        None | Some("") => Ok(false),
+        Some("null") => Ok(true),
+        Some(other) => Err(format!(
+            "unknown LEVIOSO_TRACE value {other:?}: expected unset, empty, or \"null\""
+        )),
+    }
+}
+
 /// Whether `LEVIOSO_TRACE=null` asked every [`run_workload`] cell to run
 /// with a [`levioso_uarch::NullSink`] attached. Used by
 /// `scripts/perf.sh --ab` to measure the hook overhead with the
 /// tracing branches *taken*; results are unchanged either way (the null
 /// sink observes but never perturbs).
+///
+/// # Panics
+///
+/// Panics on any other value of `LEVIOSO_TRACE` (see [`parse_trace_env`]).
 fn null_trace_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var("LEVIOSO_TRACE").as_deref() == Ok("null"))
+    *ON.get_or_init(|| {
+        let value = std::env::var("LEVIOSO_TRACE").ok();
+        parse_trace_env(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    })
 }
 
 /// Runs one workload with `sink` attached and returns the statistics
@@ -490,6 +513,17 @@ pub fn annotation_cap_figure(sweep: &Sweep, scale: Scale, caps: &[usize]) -> Fig
     f
 }
 
+/// **T4** — the two-run noninterference fuzzing matrix: every scheme ×
+/// every observer contract over seeded program/secret-pair cells (see
+/// `levioso-nisec`). `threads = 0` honors `LEVIOSO_THREADS`.
+pub fn noninterference_report(tier: Tier, threads: usize) -> levioso_nisec::FuzzReport {
+    let config = match tier {
+        Tier::Smoke => levioso_nisec::FuzzConfig::smoke(threads),
+        Tier::Paper => levioso_nisec::FuzzConfig::paper(threads),
+    };
+    levioso_nisec::fuzz(&config, &Scheme::ALL)
+}
+
 /// Extracts the geomean slowdown of `scheme` from an overhead-style figure.
 pub fn geomean_of(figure: &Figure, scheme: Scheme) -> Option<f64> {
     figure
@@ -543,6 +577,17 @@ mod tests {
         // ordering vs commit-delay is workload-dependent.)
         assert!(exe < fen, "execute-delay {exe:.3} < fence {fen:.3}");
         assert!(lev >= 0.99, "slowdowns are >= 1");
+    }
+
+    #[test]
+    fn trace_env_parsing_rejects_unknown_values() {
+        assert_eq!(parse_trace_env(None), Ok(false));
+        assert_eq!(parse_trace_env(Some("")), Ok(false));
+        assert_eq!(parse_trace_env(Some("null")), Ok(true));
+        for bad in ["nulll", "NULL", "1", "off", " null"] {
+            let e = parse_trace_env(Some(bad)).unwrap_err();
+            assert!(e.contains(&format!("{bad:?}")), "error names the bad value: {e}");
+        }
     }
 
     #[test]

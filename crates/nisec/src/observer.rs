@@ -1,0 +1,378 @@
+//! Contract observers over the [`TraceSink`] event stream.
+//!
+//! Following the hardware-software-contracts taxonomy (Guarnieri et al.),
+//! each observer is a *projection* of one recorded pipeline event stream;
+//! noninterference for an observer means the projections of two
+//! low-equivalent runs are identical. Three observers are provided, ordered
+//! from coarse to fine:
+//!
+//! * [`Observer::CommitTiming`] — the committed-instruction stream with
+//!   cycle timestamps: what an architectural attacker with a cycle counter
+//!   sees (the `ct` contract — timing included, or it could not catch cache
+//!   interference from a transient transmit).
+//! * [`Observer::CacheLine`] — the sequence of cache-line addresses filled
+//!   or flushed by demand accesses plus committed-store lines, *without*
+//!   timestamps: the classic cache-attacker observation.
+//! * [`Observer::FullTrace`] — every recorded pipeline event: fetches,
+//!   issues, policy blocks, squashes, commits, with cycles and addresses.
+//!   The strongest (finest) observer; anything leaky under the other two is
+//!   leaky here.
+//!
+//! Events deliberately record **no data values**. Under a *secure* delaying
+//! scheme the wrong-path register file legitimately holds secret-dependent
+//! values (the secret load may execute; only its *transmission* is blocked),
+//! so an observer that recorded results would flag every scheme as leaky and
+//! the gate would be vacuously red. Addresses, PCs, cycles, and blame rules
+//! are exactly the signals a microarchitectural attacker can sample.
+
+use levioso_uarch::trace::{Blame, TraceSink};
+use levioso_uarch::{DynInstr, Seq};
+use std::any::Any;
+
+/// Cache line size used for address coarsening (matches `CoreConfig`).
+const LINE_MASK: u64 = !63;
+
+/// One recorded pipeline event (data values intentionally absent; see the
+/// module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// Instruction fetched.
+    Fetch {
+        /// Cycle of the fetch.
+        cycle: u64,
+        /// Program counter fetched.
+        pc: u32,
+    },
+    /// Instruction renamed into the ROB.
+    Dispatch {
+        /// Cycle of the dispatch.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+    },
+    /// Instruction issued to a functional unit.
+    Issue {
+        /// Cycle of the issue.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+        /// Effective address, for memory instructions.
+        addr: Option<u64>,
+        /// Whether the access changed cache state (demand access or flush;
+        /// hit-only invisible accesses are excluded by the core).
+        touched_cache: bool,
+        /// Whether the access *filled* a line (L1 miss) or flushed one —
+        /// i.e. changed cache *content*, not just replacement state. This is
+        /// what the cache-line observer watches.
+        filled: bool,
+    },
+    /// The speculation policy delayed an otherwise-ready instruction.
+    Block {
+        /// Cycle of the blocked issue attempt.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+        /// Delay-attribution rule that fired.
+        rule: &'static str,
+    },
+    /// A load was served by store-to-load forwarding.
+    Forward {
+        /// Cycle of the forward.
+        cycle: u64,
+        /// Load's sequence number.
+        seq: Seq,
+        /// Supplying store's sequence number.
+        store_seq: Seq,
+    },
+    /// A control instruction resolved.
+    Resolve {
+        /// Cycle of the resolution.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+        /// Whether the prediction was wrong.
+        mispredicted: bool,
+    },
+    /// An in-flight instruction was squashed.
+    Squash {
+        /// Cycle of the squash.
+        cycle: u64,
+        /// Squashed sequence number.
+        seq: Seq,
+        /// Squashed program counter.
+        pc: u32,
+    },
+    /// Instruction wrote back its result.
+    Writeback {
+        /// Cycle of the writeback.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+    },
+    /// Instruction committed architecturally.
+    Commit {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: Seq,
+        /// Program counter.
+        pc: u32,
+        /// Cache line written, for committed stores.
+        store_line: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for Ev {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Ev::Fetch { cycle, pc } => write!(f, "@{cycle} fetch pc={pc}"),
+            Ev::Dispatch { cycle, seq, pc } => write!(f, "@{cycle} dispatch #{seq} pc={pc}"),
+            Ev::Issue { cycle, seq, pc, addr, touched_cache, filled } => {
+                write!(f, "@{cycle} issue #{seq} pc={pc}")?;
+                if let Some(a) = addr {
+                    write!(f, " addr={a:#x}")?;
+                }
+                if touched_cache {
+                    write!(f, " [cache]")?;
+                }
+                if filled {
+                    write!(f, " [fill]")?;
+                }
+                Ok(())
+            }
+            Ev::Block { cycle, seq, pc, rule } => {
+                write!(f, "@{cycle} block #{seq} pc={pc} rule={rule}")
+            }
+            Ev::Forward { cycle, seq, store_seq } => {
+                write!(f, "@{cycle} forward #{seq} from store #{store_seq}")
+            }
+            Ev::Resolve { cycle, seq, pc, mispredicted } => {
+                write!(f, "@{cycle} resolve #{seq} pc={pc} mispredicted={mispredicted}")
+            }
+            Ev::Squash { cycle, seq, pc } => write!(f, "@{cycle} squash #{seq} pc={pc}"),
+            Ev::Writeback { cycle, seq, pc } => write!(f, "@{cycle} writeback #{seq} pc={pc}"),
+            Ev::Commit { cycle, seq, pc, store_line } => {
+                write!(f, "@{cycle} commit #{seq} pc={pc}")?;
+                if let Some(l) = store_line {
+                    write!(f, " store-line={l:#x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A [`TraceSink`] that records the full event stream for later projection.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The recorded events, in hook-firing order.
+    pub events: Vec<Ev>,
+}
+
+impl TraceSink for Recorder {
+    fn on_fetch(&mut self, cycle: u64, pc: u32, _instr: &levioso_isa::Instr) {
+        self.events.push(Ev::Fetch { cycle, pc });
+    }
+
+    fn on_dispatch(&mut self, cycle: u64, instr: &DynInstr) {
+        self.events.push(Ev::Dispatch { cycle, seq: instr.seq, pc: instr.pc });
+    }
+
+    fn on_issue(&mut self, cycle: u64, instr: &DynInstr) {
+        self.events.push(Ev::Issue {
+            cycle,
+            seq: instr.seq,
+            pc: instr.pc,
+            addr: instr.mem_addr,
+            touched_cache: instr.touched_cache,
+            filled: instr.holds_mshr || matches!(instr.instr, levioso_isa::Instr::Flush { .. }),
+        });
+    }
+
+    fn on_policy_block(&mut self, cycle: u64, instr: &DynInstr, blame: &Blame) {
+        self.events.push(Ev::Block { cycle, seq: instr.seq, pc: instr.pc, rule: blame.rule });
+    }
+
+    fn on_forward(&mut self, cycle: u64, instr: &DynInstr, store_seq: Seq) {
+        self.events.push(Ev::Forward { cycle, seq: instr.seq, store_seq });
+    }
+
+    fn on_resolve(&mut self, cycle: u64, instr: &DynInstr, mispredicted: bool) {
+        self.events.push(Ev::Resolve { cycle, seq: instr.seq, pc: instr.pc, mispredicted });
+    }
+
+    fn on_squash(&mut self, cycle: u64, seq: Seq, pc: u32) {
+        self.events.push(Ev::Squash { cycle, seq, pc });
+    }
+
+    fn on_writeback(&mut self, cycle: u64, instr: &DynInstr) {
+        self.events.push(Ev::Writeback { cycle, seq: instr.seq, pc: instr.pc });
+    }
+
+    fn on_commit(&mut self, cycle: u64, instr: &DynInstr) {
+        let store_line =
+            if instr.instr.is_store() { instr.mem_addr.map(|a| a & LINE_MASK) } else { None };
+        self.events.push(Ev::Commit { cycle, seq: instr.seq, pc: instr.pc, store_line });
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// One observation contract: a projection of the recorded event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observer {
+    /// Committed (pc, cycle) pairs — the architectural+timing contract.
+    CommitTiming,
+    /// Cache-line addresses of fills/flushes and committed stores, no
+    /// timestamps — the cache-attacker contract.
+    CacheLine,
+    /// Every recorded event — the finest contract.
+    FullTrace,
+}
+
+impl Observer {
+    /// All observers, coarse to fine (fixed order used by reports).
+    pub const ALL: [Observer; 3] =
+        [Observer::CommitTiming, Observer::CacheLine, Observer::FullTrace];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Observer::CommitTiming => "commit-timing",
+            Observer::CacheLine => "cache-line",
+            Observer::FullTrace => "full-trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One projected observation: the compared key plus the index of its source
+/// event in the full stream (context only — never part of equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obs {
+    /// The value two runs must agree on.
+    pub key: ObsKey,
+    /// Index of the source event in the recorder's stream.
+    pub src: usize,
+}
+
+/// The compared portion of an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKey {
+    /// A cache-line address (cache-line observer).
+    Line(u64),
+    /// A committed pc at a cycle (commit-timing observer).
+    Commit {
+        /// Committed program counter.
+        pc: u32,
+        /// Commit cycle.
+        cycle: u64,
+    },
+    /// A verbatim event (full-trace observer).
+    Event(Ev),
+}
+
+impl std::fmt::Display for ObsKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ObsKey::Line(l) => write!(f, "line {l:#x}"),
+            ObsKey::Commit { pc, cycle } => write!(f, "commit pc={pc} @{cycle}"),
+            ObsKey::Event(ev) => write!(f, "{ev}"),
+        }
+    }
+}
+
+/// Projects a recorded event stream through an observer.
+pub fn project(observer: Observer, events: &[Ev]) -> Vec<Obs> {
+    let mut out = Vec::new();
+    for (src, &ev) in events.iter().enumerate() {
+        let key = match observer {
+            Observer::CommitTiming => match ev {
+                Ev::Commit { cycle, pc, .. } => Some(ObsKey::Commit { pc, cycle }),
+                _ => None,
+            },
+            Observer::CacheLine => match ev {
+                Ev::Issue { addr: Some(a), filled: true, .. } => Some(ObsKey::Line(a & LINE_MASK)),
+                Ev::Commit { store_line: Some(l), .. } => Some(ObsKey::Line(l)),
+                _ => None,
+            },
+            Observer::FullTrace => Some(ObsKey::Event(ev)),
+        };
+        if let Some(key) = key {
+            out.push(Obs { key, src });
+        }
+    }
+    out
+}
+
+/// The first point where two projected observation streams differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the projected streams of the first mismatch.
+    pub index: usize,
+    /// Rendered observation from run A (`"<end of trace>"` if A is shorter).
+    pub a: String,
+    /// Rendered observation from run B (`"<end of trace>"` if B is shorter).
+    pub b: String,
+    /// Delay-attribution rule of the nearest policy-block event preceding
+    /// the divergent observation in run A's full stream, if any — the
+    /// context the gate reports so a leak can be traced to the rule that
+    /// should have (but did not) delay the transmitter.
+    pub rule_context: Option<&'static str>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "obs #{}: A: {} | B: {} | last rule: {}",
+            self.index,
+            self.a,
+            self.b,
+            self.rule_context.unwrap_or("<none>")
+        )
+    }
+}
+
+/// Diffs two runs under an observer: projects both full streams and returns
+/// the first divergent observation, or `None` if the projections agree.
+pub fn diff(observer: Observer, a_events: &[Ev], b_events: &[Ev]) -> Option<Divergence> {
+    let a = project(observer, a_events);
+    let b = project(observer, b_events);
+    let end = "<end of trace>".to_string();
+    for i in 0..a.len().max(b.len()) {
+        let (oa, ob) = (a.get(i), b.get(i));
+        if oa.map(|o| o.key) != ob.map(|o| o.key) {
+            let src = oa.map(|o| o.src).unwrap_or(a_events.len());
+            let rule_context =
+                a_events[..src.min(a_events.len())].iter().rev().find_map(|ev| match *ev {
+                    Ev::Block { rule, .. } => Some(rule),
+                    _ => None,
+                });
+            return Some(Divergence {
+                index: i,
+                a: oa.map(|o| o.key.to_string()).unwrap_or_else(|| end.clone()),
+                b: ob.map(|o| o.key.to_string()).unwrap_or_else(|| end.clone()),
+                rule_context,
+            });
+        }
+    }
+    None
+}

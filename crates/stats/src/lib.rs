@@ -180,6 +180,44 @@ pub fn histogram_table(title: impl Into<String>, series: &[(&str, &Histogram)]) 
     t
 }
 
+/// One row of a noninterference leak matrix: scheme name, gate role, and a
+/// `(leaky, total)` cell count per observer.
+pub type LeakMatrixRow = (String, String, Vec<(usize, usize)>);
+
+/// Renders a noninterference leak matrix: one row per scheme (name plus its
+/// gate role), one column per observer, each cell either `clean` or
+/// `LEAK k/N` where `k` of `N` fuzzed cells diverged under that observer.
+///
+/// Used by `table4_noninterference` (`levioso-nisec`) to report the two-run
+/// fuzzing campaign.
+///
+/// # Panics
+///
+/// Panics if any row's per-observer count list does not match `observers`
+/// in length (that would render a misaligned matrix).
+pub fn leak_matrix_table(
+    title: impl Into<String>,
+    observers: &[&str],
+    rows: &[LeakMatrixRow],
+) -> Table {
+    let mut headers: Vec<&str> = vec!["scheme", "gate role"];
+    headers.extend(observers);
+    let mut t = Table::new(title, &headers);
+    for (scheme, role, counts) in rows {
+        assert_eq!(counts.len(), observers.len(), "one (leaky, total) pair per observer");
+        let mut row = vec![scheme.clone(), role.clone()];
+        row.extend(counts.iter().map(|&(leaky, total)| {
+            if leaky == 0 {
+                "clean".to_string()
+            } else {
+                format!("LEAK {leaky}/{total}")
+            }
+        }));
+        t.push_row(row);
+    }
+    t
+}
+
 /// One named series of `(x-label, y)` points — a bar group or line in a
 /// figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -378,6 +416,31 @@ mod tests {
         assert_eq!(t.rows[2], vec!["8..15", "1", "-"]);
         assert!(t.rows[3][0].starts_with("n / mean"));
         assert!(t.rows[3][1].starts_with("6 / "));
+    }
+
+    #[test]
+    fn leak_matrix_formats_clean_and_leaky_cells() {
+        let t = leak_matrix_table(
+            "Table 4",
+            &["commit-timing", "cache-line"],
+            &[
+                ("unsafe".into(), "must leak".into(), vec![(61, 64), (64, 64)]),
+                ("levioso".into(), "must be clean".into(), vec![(0, 64), (0, 64)]),
+            ],
+        );
+        assert_eq!(t.headers, vec!["scheme", "gate role", "commit-timing", "cache-line"]);
+        assert_eq!(t.rows[0], vec!["unsafe", "must leak", "LEAK 61/64", "LEAK 64/64"]);
+        assert_eq!(t.rows[1], vec!["levioso", "must be clean", "clean", "clean"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leak_matrix_rejects_ragged_observer_counts() {
+        let _ = leak_matrix_table(
+            "Table 4",
+            &["commit-timing", "cache-line"],
+            &[("unsafe".into(), "must leak".into(), vec![(1, 64)])],
+        );
     }
 
     #[test]

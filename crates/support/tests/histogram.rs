@@ -92,6 +92,58 @@ levioso_support::props! {
     }
 }
 
+/// Edge-sample audit (zero-delay blame entries are common, and `u64::MAX`
+/// is the saturating extreme): pins the *intended* bucket assignment at the
+/// boundaries. In particular 0 and 1 land in different buckets — bucket 0
+/// is exactly `{0}`, bucket 1 is exactly `{1}` — so zero-delay entries are
+/// never conflated with one-cycle delays.
+#[test]
+fn bucket_assignment_at_the_edges() {
+    // 0 and 1 must not share a bucket.
+    assert_eq!(Histogram::bucket_index(0), 0);
+    assert_eq!(Histogram::bucket_index(1), 1);
+    // Each power of two opens a new bucket; its predecessor closes one.
+    for k in 1..64 {
+        let p = 1u64 << k;
+        assert_eq!(Histogram::bucket_index(p), k + 1, "2^{k} opens bucket {}", k + 1);
+        assert_eq!(Histogram::bucket_index(p - 1), k, "2^{k}-1 closes bucket {k}");
+    }
+    // The extremes land inside the table (no out-of-range panic).
+    assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(BUCKETS, 65, "0, then one bucket per bit width");
+    // Bucket bounds are self-consistent at the edges.
+    assert_eq!((Histogram::bucket_lo(0), Histogram::bucket_hi(0)), (0, 0));
+    assert_eq!((Histogram::bucket_lo(1), Histogram::bucket_hi(1)), (1, 1));
+    assert_eq!(Histogram::bucket_hi(BUCKETS - 1), u64::MAX);
+}
+
+/// Recording the edge samples must keep every summary statistic finite and
+/// exact: count, sum, max, quantile bounds, and merge all behave at 0 and
+/// `u64::MAX`.
+#[test]
+fn edge_samples_survive_summaries_and_merge() {
+    let mut h = Histogram::new();
+    h.record(0);
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max(), u64::MAX);
+    // Sum saturates rather than wrapping (two zeros contribute nothing).
+    assert_eq!(h.sum(), u64::MAX);
+    // Quantiles: the lower half is exactly the zero bucket, the top lands
+    // in the u64::MAX bucket whose upper bound is u64::MAX itself.
+    assert_eq!(h.quantile_hi(0.5), 0);
+    assert_eq!(h.quantile_hi(1.0), u64::MAX);
+    // Merge with an all-zeros histogram preserves the edge buckets.
+    let mut zeros = Histogram::new();
+    zeros.record_n(0, 5);
+    let mut merged = zeros.clone();
+    merged.merge(&h);
+    assert_eq!(merged.count(), 8);
+    assert_eq!(merged.max(), u64::MAX);
+    assert_eq!(merged.quantile_hi(0.5), 0);
+}
+
 /// The property generators above are seed-deterministic: replaying the
 /// same seed reproduces the same histogram bit-for-bit (the contract the
 /// failing-input reports rely on).

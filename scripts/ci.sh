@@ -25,6 +25,12 @@
 #                         Chrome/Perfetto trace and proving blame
 #                         conservation + JSON round-trip (the binary
 #                         exits nonzero on either violation)
+#   8. noninterference:   table4_noninterference fuzzes every scheme with
+#                         two-run secret pairs at the smoke tier — fails on
+#                         any observation diff from a delaying scheme AND
+#                         on a clean unsafe baseline (vacuity: a gate that
+#                         cannot catch the known-leaky scheme proves
+#                         nothing)
 #
 # Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
 
@@ -61,4 +67,7 @@ echo "==> trace smoke: levitrace conservation + round-trip on one cell"
 cargo run -q --release --offline -p levioso-bench --bin levitrace -- \
   --smoke --workload filter_scan --scheme levioso --out target/ci_trace.json --quiet
 
-echo "==> OK: build, format, lints, tests, golden gate, throughput snapshot, and trace smoke all green in $((SECONDS - start))s"
+echo "==> noninterference gate: two-run fuzz of every scheme, smoke tier"
+cargo run -q --release --offline -p levioso-bench --bin table4_noninterference -- --smoke --quiet
+
+echo "==> OK: build, format, lints, tests, golden gate, throughput snapshot, trace smoke, and noninterference gate all green in $((SECONDS - start))s"
