@@ -16,7 +16,7 @@
 #[path = "../util.rs"]
 mod util;
 
-use levioso_bench::{gate, Sweep, Tier};
+use levioso_bench::{cellcache, gate, Sweep, Tier};
 use std::time::Instant;
 
 fn main() {
@@ -36,6 +36,13 @@ fn main() {
             ""
         }
     );
+    if opts.resume {
+        eprintln!(
+            "==> resuming: {} cell(s) already banked under fingerprint {} — only the rest compute",
+            cellcache::with(|c| c.cell_count()),
+            cellcache::with(|c| c.fingerprint().to_string()),
+        );
+    }
 
     if opts.check || opts.bless {
         let code = gate_mode(&sweep, tier, opts.check, start);
@@ -55,8 +62,29 @@ fn main() {
     let t = levioso_bench::annotation_table(&sweep, tier.scale());
     util::emit(&opts, "table3_annotation", &t.render(), None);
     util::emit_attrib(&opts, &sweep, "overhead", &levioso_core::Scheme::HEADLINE);
+    print_cache_summary(false);
     write_throughput(&sweep, tier, start);
     eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Prints the sweep-cache hit/miss split (the line `scripts/ci.sh` asserts
+/// on) and, when `list_dirty`, exactly which cells this run had to
+/// recompute — the "what did my core change invalidate" report.
+fn print_cache_summary(list_dirty: bool) {
+    let report = cellcache::report();
+    let fingerprint = cellcache::with(|c| c.fingerprint().to_string());
+    println!("{}", report.summary(&fingerprint));
+    if !list_dirty || report.miss_labels.is_empty() {
+        return;
+    }
+    const SHOWN: usize = 24;
+    println!("dirty cells recomputed ({}):", report.miss_labels.len());
+    for label in report.miss_labels.iter().take(SHOWN) {
+        println!("  {label}");
+    }
+    if report.miss_labels.len() > SHOWN {
+        println!("  ... and {} more", report.miss_labels.len() - SHOWN);
+    }
 }
 
 /// `--check` / `--bless`: compute the shape figures, then gate or record.
@@ -70,6 +98,7 @@ fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> i32 {
     if check {
         let report = gate::check_figures(&figures, tier);
         print!("{}", report.render());
+        print_cache_summary(true);
         eprintln!(
             "==> checked {} cells in {:.1}s",
             report.cells_checked,
@@ -86,6 +115,7 @@ fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> i32 {
             for p in &paths {
                 println!("blessed {}", p.display());
             }
+            print_cache_summary(false);
             eprintln!(
                 "==> recorded {} snapshots in {:.1}s",
                 paths.len(),
@@ -94,7 +124,7 @@ fn gate_mode(sweep: &Sweep, tier: Tier, check: bool, start: Instant) -> i32 {
             0
         }
         Err(e) => {
-            eprintln!("failed to write golden snapshots: {e}");
+            eprintln!("bless refused or failed: {e}");
             1
         }
     }
@@ -114,6 +144,8 @@ fn write_throughput(sweep: &Sweep, tier: Tier, start: Instant) {
         tier,
         sweep.threads(),
         start.elapsed().as_secs_f64(),
+        &cellcache::report(),
+        cellcache::enabled(),
         baseline.as_deref(),
     );
     if let Err(e) =

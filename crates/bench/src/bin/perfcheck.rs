@@ -26,7 +26,7 @@ fn main() {
             exit(1);
         }
     };
-    if util::json_str_field(&doc, "schema").as_deref() != Some("levioso-sim-throughput/1") {
+    if util::json_str_field(&doc, "schema").as_deref() != Some("levioso-sim-throughput/2") {
         eprintln!("perfcheck: {}: missing or unknown schema field", path.display());
         exit(1);
     }
@@ -56,13 +56,57 @@ fn main() {
     let wall = field("wall_seconds");
     let kc = field("kilocycles_per_busy_sec");
     let cps = field("cells_per_busy_sec");
-    if cells < 1.0 || busy <= 0.0 {
+    let Some(cache) = util::json_object_field(&current, "cache") else {
+        eprintln!("perfcheck: {}: `current.cache` object missing", path.display());
+        exit(1);
+    };
+    let cache_field = |key: &str| -> f64 {
+        match util::json_num_field(&cache, key) {
+            Some(v) if v.is_finite() && v >= 0.0 => v,
+            _ => {
+                eprintln!(
+                    "perfcheck: {}: `current.cache.{key}` missing or invalid",
+                    path.display()
+                );
+                exit(1);
+            }
+        }
+    };
+    let cache_enabled = util::json_bool_field(&cache, "enabled").unwrap_or_else(|| {
+        eprintln!("perfcheck: {}: `current.cache.enabled` missing", path.display());
+        exit(1);
+    });
+    let hits = cache_field("hits");
+    let misses = cache_field("misses");
+    // The throughput meter must only sample freshly computed cells: every
+    // recorded cell corresponds to exactly one cache miss (hits return
+    // stored stats and skip the meter). A snapshot where cells != misses
+    // means cached results polluted the busy-time samples — fail loudly.
+    if cache_enabled && cells != misses {
+        eprintln!(
+            "perfcheck: {}: {cells:.0} throughput cells but {misses:.0} cache misses — \
+             busy-time samples must come only from freshly computed cells",
+            path.display()
+        );
+        exit(1);
+    }
+    // A fully warm cache legitimately records zero fresh cells; no work at
+    // all (no cells AND no hits) still fails.
+    if cells < 1.0 && hits < 1.0 {
         eprintln!("perfcheck: {}: snapshot records no simulation work", path.display());
+        exit(1);
+    }
+    if cells >= 1.0 && busy <= 0.0 {
+        eprintln!("perfcheck: {}: cells recorded but zero busy time", path.display());
         exit(1);
     }
 
     println!(
         "sim throughput ({tier} tier, {threads:.0} thread(s)): {cells:.0} cells in {busy:.1}s busy / {wall:.1}s wall"
+    );
+    println!(
+        "  sweep-cache: enabled={cache_enabled} hits={hits:.0} misses={misses:.0} \
+         (all throughput samples from fresh cells)"
     );
     println!("  {kc:.0} simulated kilocycles per busy-second, {cps:.2} cells per busy-second");
     if let Some(baseline) = util::json_object_field(&doc, "baseline") {

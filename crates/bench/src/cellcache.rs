@@ -1,0 +1,248 @@
+//! The process-wide sweep-cell cache and the bench-side cell keying.
+//!
+//! `levioso_support::cache::Cache` is a plain content-addressed store; this
+//! module binds it to the bench domain:
+//!
+//! * one **process-global handle**, namespaced under
+//!   [`levioso_uarch::core_fingerprint`] and configured from the
+//!   environment by default (`LEVIOSO_SWEEP_CACHE=off` disables,
+//!   `LEVIOSO_SWEEP_CACHE_DIR` relocates; default
+//!   `target/sweep-cache/<fingerprint>/`);
+//! * the **cell key**: a serialized description of everything a
+//!   `(workload, scheme, config)` simulation's result depends on — the
+//!   program *text* (not the name: a regenerated workload with different
+//!   code is a different cell), the initial memory image, the checksum
+//!   address, the scheme, the full `CoreConfig`, and an extra tag for
+//!   variant cells (F7's annotation caps). The workload scale/tier folds
+//!   in through the program and memory content. The sweep's master seed is
+//!   deliberately **not** part of the key: perf cells consume no
+//!   randomness (nisec cells, which do, embed their generated inputs —
+//!   see `levioso_nisec::harness`);
+//! * an exact [`SimStats`] ↔ JSON round-trip, versioned inside the key
+//!   (`cellformat`), so a layout change can never misread old envelopes.
+//!
+//! A cache hit returns bit-identical stats to a fresh simulation (the
+//! simulator is deterministic and the envelope is integrity-checked), so
+//! cold, warm, and mixed cache runs produce byte-identical reports —
+//! pinned by `tests/cache.rs`. Hits skip `throughput::record`, keeping the
+//! perf meter's busy-time samples exclusively from freshly computed cells
+//! (asserted by `perfcheck`).
+
+use levioso_support::cache::{Cache, CacheReport};
+use levioso_support::Json;
+use levioso_uarch::{core_fingerprint, CacheStats, CoreConfig, SimStats};
+use levioso_workloads::Workload;
+use std::sync::{OnceLock, RwLock};
+
+/// Version of the cell-key/result layout below. Part of every key, so a
+/// change here (new stats field, different serialization) makes all old
+/// cells plain misses instead of parse errors.
+const CELL_FORMAT: u32 = 1;
+
+fn handle() -> &'static RwLock<Cache> {
+    static CACHE: OnceLock<RwLock<Cache>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(Cache::from_env(core_fingerprint())))
+}
+
+/// Replaces the process-global cache (tests point it at a temp dir or
+/// disable it; `--no-cache` installs [`Cache::disabled`]).
+pub fn configure(cache: Cache) {
+    *handle().write().expect("cell cache lock") = cache;
+}
+
+/// Runs `f` against the process-global cache.
+pub fn with<R>(f: impl FnOnce(&Cache) -> R) -> R {
+    f(&handle().read().expect("cell cache lock"))
+}
+
+/// Whether the global cache can hit at all.
+pub fn enabled() -> bool {
+    with(|c| c.enabled())
+}
+
+/// Counter snapshot of the global cache.
+pub fn report() -> CacheReport {
+    with(|c| c.report())
+}
+
+/// Zeroes the global cache's counters.
+pub fn reset_counters() {
+    with(|c| c.reset_counters());
+}
+
+/// The cache key of one perf sweep cell. `extra` tags variant cells that
+/// share workload/scheme/config but differ in preparation (e.g. `cap=2`
+/// for F7's annotation-budget cells); empty for plain cells.
+pub fn workload_key(w: &Workload, scheme_name: &str, config: &CoreConfig, extra: &str) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(256);
+    let _ = writeln!(key, "levioso-sweep-cell-key/{CELL_FORMAT}");
+    let _ = writeln!(key, "kind: perf");
+    let _ = writeln!(key, "workload: {}", w.name);
+    let _ = writeln!(
+        key,
+        "program: {}",
+        levioso_support::cache::stable_hash_hex(w.program.to_asm_string().as_bytes())
+    );
+    let mut mem = String::new();
+    for (addr, val) in &w.memory {
+        let _ = writeln!(mem, "{addr:#x}={val}");
+    }
+    let _ = writeln!(key, "memory: {}", levioso_support::cache::stable_hash_hex(mem.as_bytes()));
+    let _ = writeln!(key, "checksum_addr: {:#x}", w.checksum_addr);
+    let _ = writeln!(key, "scheme: {scheme_name}");
+    let _ = writeln!(key, "config: {config:?}");
+    let _ = writeln!(key, "extra: {extra}");
+    key
+}
+
+/// The human label recorded for a cell on a miss (the "which cells did
+/// this change invalidate" report).
+pub fn workload_label(w: &Workload, scheme_name: &str, extra: &str) -> String {
+    if extra.is_empty() {
+        format!("{}/{}", w.name, scheme_name)
+    } else {
+        format!("{}/{}[{}]", w.name, scheme_name, extra)
+    }
+}
+
+/// Estimated compute cost of a cell (busy nanoseconds from a prior run,
+/// this revision's or an older one's), [`levioso_support::pool::UNKNOWN_COST`]
+/// when never measured — unknowns schedule first.
+pub fn estimate_workload_cost(
+    w: &Workload,
+    scheme_name: &str,
+    config: &CoreConfig,
+    extra: &str,
+) -> u64 {
+    with(|c| c.estimate_cost(&workload_key(w, scheme_name, config, extra)))
+        .unwrap_or(levioso_support::pool::UNKNOWN_COST)
+}
+
+/// Serializes stats exactly (all fields are `u64`, which [`Json::I64`]
+/// round-trips bit-for-bit; no simulated counter can realistically exceed
+/// `i64::MAX`).
+pub fn stats_to_json(s: &SimStats) -> Json {
+    fn n(v: u64) -> Json {
+        Json::I64(i64::try_from(v).expect("counter fits i64"))
+    }
+    Json::obj([
+        ("cycles", n(s.cycles)),
+        ("committed", n(s.committed)),
+        ("committed_loads", n(s.committed_loads)),
+        ("committed_stores", n(s.committed_stores)),
+        ("committed_branches", n(s.committed_branches)),
+        ("fetched", n(s.fetched)),
+        ("dispatched", n(s.dispatched)),
+        ("squashed", n(s.squashed)),
+        ("mispredicts", n(s.mispredicts)),
+        ("l1d_hits", n(s.l1d.hits)),
+        ("l1d_misses", n(s.l1d.misses)),
+        ("l2_hits", n(s.l2.hits)),
+        ("l2_misses", n(s.l2.misses)),
+        ("policy_delay_cycles", n(s.policy_delay_cycles)),
+        ("policy_delayed_instrs", n(s.policy_delayed_instrs)),
+        ("ready_while_shadowed", n(s.ready_while_shadowed)),
+        ("ready_while_true_dep", n(s.ready_while_true_dep)),
+        ("loads_ready_while_shadowed", n(s.loads_ready_while_shadowed)),
+        ("loads_ready_while_true_dep", n(s.loads_ready_while_true_dep)),
+        ("shadow_wait_cycles", n(s.shadow_wait_cycles)),
+        ("true_wait_cycles", n(s.true_wait_cycles)),
+        ("loads_shadow_wait_cycles", n(s.loads_shadow_wait_cycles)),
+        ("loads_true_wait_cycles", n(s.loads_true_wait_cycles)),
+        ("transient_fills", n(s.transient_fills)),
+    ])
+}
+
+/// Exact inverse of [`stats_to_json`]; `None` on any missing field.
+pub fn stats_from_json(doc: &Json) -> Option<SimStats> {
+    let n =
+        |key: &str| -> Option<u64> { doc.get(key)?.as_i64().and_then(|v| u64::try_from(v).ok()) };
+    Some(SimStats {
+        cycles: n("cycles")?,
+        committed: n("committed")?,
+        committed_loads: n("committed_loads")?,
+        committed_stores: n("committed_stores")?,
+        committed_branches: n("committed_branches")?,
+        fetched: n("fetched")?,
+        dispatched: n("dispatched")?,
+        squashed: n("squashed")?,
+        mispredicts: n("mispredicts")?,
+        l1d: CacheStats { hits: n("l1d_hits")?, misses: n("l1d_misses")? },
+        l2: CacheStats { hits: n("l2_hits")?, misses: n("l2_misses")? },
+        policy_delay_cycles: n("policy_delay_cycles")?,
+        policy_delayed_instrs: n("policy_delayed_instrs")?,
+        ready_while_shadowed: n("ready_while_shadowed")?,
+        ready_while_true_dep: n("ready_while_true_dep")?,
+        loads_ready_while_shadowed: n("loads_ready_while_shadowed")?,
+        loads_ready_while_true_dep: n("loads_ready_while_true_dep")?,
+        shadow_wait_cycles: n("shadow_wait_cycles")?,
+        true_wait_cycles: n("true_wait_cycles")?,
+        loads_shadow_wait_cycles: n("loads_shadow_wait_cycles")?,
+        loads_true_wait_cycles: n("loads_true_wait_cycles")?,
+        transient_fills: n("transient_fills")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levioso_workloads::{suite, Scale};
+
+    #[test]
+    fn stats_round_trip_exactly() {
+        let s = SimStats {
+            cycles: u64::from(u32::MAX) + 17,
+            committed: 3,
+            l1d: CacheStats { hits: 1, misses: 2 },
+            l2: CacheStats { hits: 0, misses: 9 },
+            transient_fills: 7,
+            ..Default::default()
+        };
+        assert_eq!(stats_from_json(&stats_to_json(&s)), Some(s));
+        assert_eq!(
+            stats_from_json(&stats_to_json(&SimStats::default())),
+            Some(SimStats::default())
+        );
+    }
+
+    #[test]
+    fn missing_field_fails_deserialization() {
+        let Json::Obj(mut pairs) = stats_to_json(&SimStats::default()) else { unreachable!() };
+        pairs.retain(|(k, _)| k != "transient_fills");
+        assert_eq!(stats_from_json(&Json::Obj(pairs)), None);
+    }
+
+    #[test]
+    fn keys_separate_every_input_dimension() {
+        let workloads = suite(Scale::Smoke);
+        let (a, b) = (&workloads[0], &workloads[1]);
+        let base = CoreConfig::default();
+        let key = workload_key(a, "levioso", &base, "");
+        assert_eq!(key, workload_key(a, "levioso", &base, ""), "deterministic");
+        assert_ne!(key, workload_key(b, "levioso", &base, ""), "workload");
+        assert_ne!(key, workload_key(a, "fence", &base, ""), "scheme");
+        assert_ne!(key, workload_key(a, "levioso", &base.clone().with_rob_size(64), ""), "config");
+        assert_ne!(key, workload_key(a, "levioso", &base, "cap=2"), "extra tag");
+    }
+
+    #[test]
+    fn scale_changes_the_key_through_program_content() {
+        let smoke = &suite(Scale::Smoke)[0];
+        let paper = suite(Scale::Paper).remove(0);
+        assert_eq!(smoke.name, paper.name);
+        let config = CoreConfig::default();
+        assert_ne!(
+            workload_key(smoke, "levioso", &config, ""),
+            workload_key(&paper, "levioso", &config, ""),
+            "tier folds in via program/memory content, not an explicit field"
+        );
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        let w = &suite(Scale::Smoke)[0];
+        assert_eq!(workload_label(w, "levioso", ""), format!("{}/levioso", w.name));
+        assert_eq!(workload_label(w, "levioso", "cap=2"), format!("{}/levioso[cap=2]", w.name));
+    }
+}

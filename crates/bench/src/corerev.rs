@@ -1,0 +1,232 @@
+//! The sim-core revision manifest and the bless guard.
+//!
+//! `levioso_uarch::CORE_REV` names the simulator's *semantic* revision:
+//! the cache namespace every sweep cell is stored under, and the version
+//! the golden snapshots were recorded against. This module keeps the two
+//! honest via a committed manifest, `results/golden/core_rev.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "levioso-core-rev/1",
+//!   "core_rev": 1,
+//!   "tiers": {
+//!     "smoke": { "core_rev": 1, "digest": "<32 hex>" },
+//!     "paper": { "core_rev": 1, "digest": "<32 hex>" }
+//!   }
+//! }
+//! ```
+//!
+//! Each tier records a content digest over its golden figure files plus
+//! the `CORE_REV` it was blessed at. Two rules are enforced:
+//!
+//! 1. **The bless guard** ([`guard_bless`], called by
+//!    `gate::bless_figures`): re-blessing a tier whose golden *content
+//!    changes* while its recorded revision equals the current `CORE_REV`
+//!    is refused. If the numbers moved, the semantics moved — bump
+//!    `CORE_REV` first, which also invalidates every cached sweep cell.
+//! 2. **The manifest consistency test** (`tests/cache.rs`): the on-disk
+//!    goldens must re-digest to exactly what the manifest records, and
+//!    every recorded revision must equal the current `CORE_REV`. This
+//!    catches hand-edited goldens (which bypass the bless guard) and a
+//!    `CORE_REV` bump that forgot to re-bless.
+
+use crate::gate::{Tier, SHAPE_IDS};
+use levioso_stats::Figure;
+use levioso_support::cache::stable_hash_hex;
+use levioso_support::Json;
+use levioso_uarch::CORE_REV;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema tag.
+pub const MANIFEST_SCHEMA: &str = "levioso-core-rev/1";
+
+/// Where the committed manifest lives (repo-root anchored).
+pub fn manifest_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/golden/core_rev.json")
+}
+
+/// Content digest over a tier's freshly computed figures — exactly the
+/// bytes `bless_figures` writes, so [`disk_digest`] reproduces it from the
+/// files.
+pub fn figures_digest(figures: &[(&'static str, Figure)]) -> String {
+    let mut bytes = Vec::new();
+    for (id, f) in figures {
+        bytes.extend_from_slice(id.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(f.to_json().as_bytes());
+        bytes.push(b'\n');
+    }
+    stable_hash_hex(&bytes)
+}
+
+/// Content digest over the tier's golden files on disk, `None` if any
+/// shape snapshot is missing.
+pub fn disk_digest(tier: Tier) -> Option<String> {
+    let dir = tier.golden_dir();
+    let mut bytes = Vec::new();
+    for id in SHAPE_IDS {
+        let text = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
+        bytes.extend_from_slice(id.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(text.as_bytes());
+        bytes.push(b'\n');
+    }
+    Some(stable_hash_hex(&bytes))
+}
+
+/// One tier's recorded bless: the `CORE_REV` it was blessed at and the
+/// content digest of its golden files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierRecord {
+    /// `CORE_REV` at bless time.
+    pub core_rev: u32,
+    /// [`disk_digest`] of the blessed files.
+    pub digest: String,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The latest `CORE_REV` any tier was blessed at.
+    pub core_rev: u32,
+    /// Per-tier records, keyed by tier name.
+    pub tiers: Vec<(String, TierRecord)>,
+}
+
+impl Manifest {
+    /// Loads the committed manifest; `None` if absent or unparseable
+    /// (treated as "no manifest yet" — the consistency test separately
+    /// fails on a corrupt one).
+    pub fn load() -> Option<Manifest> {
+        Self::load_from(&manifest_path())
+    }
+
+    /// Loads a manifest from an explicit path.
+    pub fn load_from(path: &Path) -> Option<Manifest> {
+        let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(MANIFEST_SCHEMA) {
+            return None;
+        }
+        let core_rev = u32::try_from(doc.get("core_rev")?.as_i64()?).ok()?;
+        let Json::Obj(tier_pairs) = doc.get("tiers")? else { return None };
+        let mut tiers = Vec::new();
+        for (name, entry) in tier_pairs {
+            let rec = TierRecord {
+                core_rev: u32::try_from(entry.get("core_rev")?.as_i64()?).ok()?,
+                digest: entry.get("digest")?.as_str()?.to_string(),
+            };
+            tiers.push((name.clone(), rec));
+        }
+        Some(Manifest { core_rev, tiers })
+    }
+
+    /// The record for `tier`, if one was ever blessed.
+    pub fn tier(&self, tier: Tier) -> Option<&TierRecord> {
+        self.tiers.iter().find(|(n, _)| n == tier.name()).map(|(_, r)| r)
+    }
+
+    /// Serializes back to the committed JSON form.
+    pub fn to_json(&self) -> String {
+        let tiers = Json::Obj(
+            self.tiers
+                .iter()
+                .map(|(name, rec)| {
+                    (
+                        name.clone(),
+                        Json::obj([
+                            ("core_rev", Json::I64(rec.core_rev as i64)),
+                            ("digest", Json::str(&rec.digest)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Json::obj([
+            ("schema", Json::str(MANIFEST_SCHEMA)),
+            ("core_rev", Json::I64(self.core_rev as i64)),
+            ("tiers", tiers),
+        ]);
+        let mut text = doc.emit_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Writes the manifest to its committed location.
+    pub fn save(&self) -> std::io::Result<()> {
+        let path = manifest_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The bless guard: refuses a re-bless whose golden content changed while
+/// the tier's recorded revision still equals the current `CORE_REV`.
+///
+/// Allowed: first bless of a tier, a re-bless with identical content
+/// (no-op), and a re-bless after a `CORE_REV` bump.
+pub fn guard_bless(tier: Tier, new_digest: &str) -> Result<(), String> {
+    let Some(manifest) = Manifest::load() else { return Ok(()) };
+    let Some(rec) = manifest.tier(tier) else { return Ok(()) };
+    if rec.digest != new_digest && rec.core_rev == CORE_REV {
+        return Err(format!(
+            "golden content for the {} tier changed but CORE_REV is still {}: changed simulated \
+             numbers mean the core's semantics changed, so cached sweep cells from the old \
+             revision are stale. Bump levioso_uarch::CORE_REV (crates/uarch/src/lib.rs), then \
+             re-run `--bless` for both tiers.",
+            tier.name(),
+            CORE_REV
+        ));
+    }
+    Ok(())
+}
+
+/// Records a successful bless: updates the tier's record (and the
+/// top-level revision) to the current `CORE_REV` and the new digest,
+/// preserving the other tiers' records.
+pub fn record_bless(tier: Tier, new_digest: &str) -> std::io::Result<()> {
+    let mut manifest = Manifest::load().unwrap_or_default();
+    manifest.core_rev = CORE_REV;
+    let rec = TierRecord { core_rev: CORE_REV, digest: new_digest.to_string() };
+    match manifest.tiers.iter_mut().find(|(n, _)| n == tier.name()) {
+        Some((_, existing)) => *existing = rec,
+        None => manifest.tiers.push((tier.name().to_string(), rec)),
+    }
+    manifest.save()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            core_rev: 3,
+            tiers: vec![
+                ("smoke".to_string(), TierRecord { core_rev: 3, digest: "ab".repeat(16) }),
+                ("paper".to_string(), TierRecord { core_rev: 2, digest: "cd".repeat(16) }),
+            ],
+        };
+        let text = m.to_json();
+        let dir = std::env::temp_dir().join(format!("levioso-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("core_rev.json");
+        std::fs::write(&path, &text).unwrap();
+        assert_eq!(Manifest::load_from(&path), Some(m));
+    }
+
+    #[test]
+    fn figures_digest_is_content_sensitive() {
+        let mut f = Figure::new("t", "y");
+        f.push_series("s", vec![("a".to_string(), 1.0)]);
+        let base = figures_digest(&[("fig2_overhead", f.clone())]);
+        assert_eq!(base.len(), 32);
+        assert_eq!(base, figures_digest(&[("fig2_overhead", f.clone())]), "deterministic");
+        let mut g = f.clone();
+        g.series[0].points[0].1 = 2.0;
+        assert_ne!(base, figures_digest(&[("fig2_overhead", g)]), "value change moves digest");
+        assert_ne!(base, figures_digest(&[("fig1_motivation", f)]), "id change moves digest");
+    }
+}

@@ -84,11 +84,24 @@ impl Tier {
     }
 }
 
+/// The stable snapshot ids of every shape figure, in report order. The
+/// golden manifest's tier digests (see [`crate::corerev`]) hash the files
+/// in exactly this order.
+pub const SHAPE_IDS: [&str; 7] = [
+    "fig1_motivation",
+    "fig2_overhead",
+    "fig3_ablation",
+    "fig4_rob_sweep",
+    "fig5_mem_sweep",
+    "fig6_transient_fills",
+    "fig7_hint_budget",
+];
+
 /// Computes every shape figure of the evaluation at `tier`, in report
-/// order, labeled with its stable snapshot id.
+/// order, labeled with its stable snapshot id (exactly [`SHAPE_IDS`]).
 pub fn shape_figures(sweep: &Sweep, tier: Tier) -> Vec<(&'static str, Figure)> {
     let scale = tier.scale();
-    vec![
+    let figures = vec![
         ("fig1_motivation", crate::motivation_figure(sweep, scale)),
         ("fig2_overhead", crate::overhead_figure(sweep, scale)),
         ("fig3_ablation", crate::ablation_figure(sweep, scale)),
@@ -96,7 +109,12 @@ pub fn shape_figures(sweep: &Sweep, tier: Tier) -> Vec<(&'static str, Figure)> {
         ("fig5_mem_sweep", crate::mem_sweep_figure(sweep, scale, tier.dram_latencies())),
         ("fig6_transient_fills", crate::transient_fill_figure(sweep, scale)),
         ("fig7_hint_budget", crate::annotation_cap_figure(sweep, scale, tier.caps())),
-    ]
+    ];
+    debug_assert!(
+        figures.iter().map(|(id, _)| *id).eq(SHAPE_IDS),
+        "SHAPE_IDS out of sync with shape_figures"
+    );
+    figures
 }
 
 /// Declared relative tolerance for a snapshot id.
@@ -294,10 +312,21 @@ pub fn check_figures(figures: &[(&'static str, Figure)], tier: Tier) -> CheckRep
 
 /// Writes the figures as the tier's new golden snapshots; returns the
 /// paths written.
+///
+/// Guarded by the `CORE_REV` manifest (see [`crate::corerev`]): if the new
+/// content differs from the recorded bless and `levioso_uarch::CORE_REV`
+/// was not bumped, the bless is refused — changed simulated numbers mean
+/// changed core semantics, and the cached sweep cells of the old revision
+/// must be invalidated by the bump, not silently kept. A successful bless
+/// records the tier's new digest + revision in
+/// `results/golden/core_rev.json`.
 pub fn bless_figures(
     figures: &[(&'static str, Figure)],
     tier: Tier,
 ) -> std::io::Result<Vec<PathBuf>> {
+    let digest = crate::corerev::figures_digest(figures);
+    crate::corerev::guard_bless(tier, &digest)
+        .map_err(|msg| std::io::Error::new(std::io::ErrorKind::PermissionDenied, msg))?;
     let dir = tier.golden_dir();
     std::fs::create_dir_all(&dir)?;
     let mut written = Vec::new();
@@ -306,6 +335,8 @@ pub fn bless_figures(
         std::fs::write(&path, figure.to_json())?;
         written.push(path);
     }
+    crate::corerev::record_bless(tier, &digest)?;
+    written.push(crate::corerev::manifest_path());
     Ok(written)
 }
 

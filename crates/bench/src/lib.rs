@@ -36,6 +36,8 @@ use levioso_workloads::{suite, Scale, Workload};
 use std::collections::HashMap;
 
 pub mod attrib;
+pub mod cellcache;
+pub mod corerev;
 pub mod gate;
 pub mod sweep;
 pub mod throughput;
@@ -47,17 +49,30 @@ pub use sweep::Sweep;
 pub use throughput::Throughput;
 pub use trace_export::{validate_chrome_trace, ChromeTraceSink, TraceSummary};
 
-/// Runs one workload under one scheme/config and returns its statistics.
+/// Runs one workload under one scheme/config and returns its statistics,
+/// consulting the sweep-cell cache first (see [`cellcache`]).
 ///
-/// Reports the cell's simulated work and host busy time to the global
-/// [`throughput`] meter; the timing happens here, inside the worker, so
-/// busy-time rates are comparable across thread counts.
+/// On a cache **miss** the cell simulates, reports its simulated work and
+/// host busy time to the global [`throughput`] meter (the timing happens
+/// here, inside the worker, so busy-time rates are comparable across
+/// thread counts), and persists its stats. On a **hit** the stored stats
+/// come back bit-identical to a fresh simulation — the simulator is
+/// deterministic and the envelope is integrity-checked — and the
+/// throughput meter is deliberately *not* fed: perf samples must only
+/// come from freshly computed cells (asserted by `perfcheck`).
 ///
 /// # Panics
 ///
 /// Panics if the simulation fails or the checksum diverges from the
 /// reference interpreter — an experiment on wrong results is meaningless.
 pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimStats {
+    let key = cellcache::workload_key(w, scheme.name(), config, "");
+    let label = cellcache::workload_label(w, scheme.name(), "");
+    if let Some(stats) =
+        cellcache::with(|c| c.lookup(&label, &key)).and_then(|doc| cellcache::stats_from_json(&doc))
+    {
+        return stats;
+    }
     let cell_start = std::time::Instant::now();
     let mut program = w.program.clone();
     scheme.prepare(&mut program);
@@ -72,7 +87,11 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
     let got = sim.mem.read_i64(w.checksum_addr);
     let expected = w.expected_checksum();
     assert_eq!(got, expected, "{} under {scheme}: checksum mismatch", w.name);
-    throughput::record(stats.cycles, stats.committed, cell_start.elapsed());
+    let busy = cell_start.elapsed();
+    throughput::record(stats.cycles, stats.committed, busy);
+    cellcache::with(|c| {
+        c.store(&label, &key, &cellcache::stats_to_json(&stats), busy.as_nanos() as u64)
+    });
     stats
 }
 
@@ -181,7 +200,11 @@ fn grid_runtimes(
             }
         }
     }
-    let stats = sweep.map(&cells, |cell, _rng| {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|c| cellcache::estimate_workload_cost(c.workload, c.scheme.name(), c.config, ""))
+        .collect();
+    let stats = sweep.map_with_costs(&cells, &costs, |cell, _rng| {
         debug_assert!(cell.config_idx < configs.len() && cell.workload_idx < workloads.len());
         run_workload(cell.workload, cell.scheme, cell.config)
     });
@@ -240,7 +263,12 @@ pub fn config_table() -> Table {
 pub fn motivation_figure(sweep: &Sweep, scale: Scale) -> Figure {
     let config = CoreConfig::default();
     let workloads = suite(scale);
-    let stats = sweep.map(&workloads, |w, _rng| run_workload(w, Scheme::Levioso, &config));
+    let costs: Vec<u64> = workloads
+        .iter()
+        .map(|w| cellcache::estimate_workload_cost(w, Scheme::Levioso.name(), &config, ""))
+        .collect();
+    let stats = sweep
+        .map_with_costs(&workloads, &costs, |w, _rng| run_workload(w, Scheme::Levioso, &config));
     let mut shadow_frac = Vec::new();
     let mut true_frac = Vec::new();
     let mut shadow_wait = Vec::new();
@@ -431,7 +459,12 @@ pub fn transient_fill_figure(sweep: &Sweep, scale: Scale) -> Figure {
         .iter()
         .flat_map(|&scheme| workloads.iter().map(move |w| (scheme, w)))
         .collect();
-    let stats = sweep.map(&cells, |&(scheme, w), _rng| run_workload(w, scheme, &config));
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|&(scheme, w)| cellcache::estimate_workload_cost(w, scheme.name(), &config, ""))
+        .collect();
+    let stats =
+        sweep.map_with_costs(&cells, &costs, |&(scheme, w), _rng| run_workload(w, scheme, &config));
     let mut f = Figure::new(
         "F6: transient cache fills per kilo-instruction (residual speculative visibility)",
         "fills / kilo-instruction",
@@ -461,6 +494,55 @@ pub fn transient_fill_figure(sweep: &Sweep, scale: Scale) -> Figure {
     f
 }
 
+/// The `extra` cache-key tag of an F7 capped cell.
+fn cap_tag(cap: usize) -> String {
+    if cap == usize::MAX {
+        "cap=uncapped".to_string()
+    } else {
+        format!("cap={cap}")
+    }
+}
+
+/// One F7 cell: Levioso with every dependency set larger than `cap`
+/// collapsed to the conservative fallback. Cached under the `cap=` extra
+/// tag; same hit/miss/throughput semantics as [`run_workload`].
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the checksum diverges.
+pub fn run_workload_capped(w: &Workload, cap: usize, config: &CoreConfig) -> SimStats {
+    let tag = cap_tag(cap);
+    let key = cellcache::workload_key(w, Scheme::Levioso.name(), config, &tag);
+    let label = cellcache::workload_label(w, Scheme::Levioso.name(), &tag);
+    if let Some(stats) =
+        cellcache::with(|c| c.lookup(&label, &key)).and_then(|doc| cellcache::stats_from_json(&doc))
+    {
+        return stats;
+    }
+    let cell_start = std::time::Instant::now();
+    let mut program = w.program.clone();
+    Scheme::Levioso.prepare(&mut program);
+    let full = program.annotations.clone().expect("annotated");
+    program.annotations = Some(full.capped(cap));
+    let mut sim = levioso_uarch::Simulator::new(&program, config.clone());
+    w.apply_memory(&mut sim);
+    let stats = sim
+        .run(Scheme::Levioso.policy().as_ref())
+        .unwrap_or_else(|e| panic!("{} cap {cap}: {e}", w.name));
+    assert_eq!(
+        sim.mem.read_i64(w.checksum_addr),
+        w.expected_checksum(),
+        "{} cap {cap}: checksum mismatch",
+        w.name
+    );
+    let busy = cell_start.elapsed();
+    throughput::record(stats.cycles, stats.committed, busy);
+    cellcache::with(|c| {
+        c.store(&label, &key, &cellcache::stats_to_json(&stats), busy.as_nanos() as u64)
+    });
+    stats
+}
+
 /// **F7** (extension) — annotation hint-budget sweep: geomean slowdown of
 /// Levioso when every dependency set larger than the cap collapses to the
 /// conservative fallback. Caps model finite ISA hint encodings; `usize::MAX`
@@ -474,28 +556,18 @@ pub fn annotation_cap_figure(sweep: &Sweep, scale: Scale, caps: &[usize]) -> Fig
         .map(|w| (None, w))
         .chain(caps.iter().flat_map(|&cap| workloads.iter().map(move |w| (Some(cap), w))))
         .collect();
-    let cycles = sweep.map(&cells, |&(cap, w), _rng| match cap {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|&(cap, w)| match cap {
+            None => cellcache::estimate_workload_cost(w, Scheme::Unsafe.name(), &config, ""),
+            Some(cap) => {
+                cellcache::estimate_workload_cost(w, Scheme::Levioso.name(), &config, &cap_tag(cap))
+            }
+        })
+        .collect();
+    let cycles = sweep.map_with_costs(&cells, &costs, |&(cap, w), _rng| match cap {
         None => run_workload(w, Scheme::Unsafe, &config).cycles as f64,
-        Some(cap) => {
-            let cell_start = std::time::Instant::now();
-            let mut program = w.program.clone();
-            Scheme::Levioso.prepare(&mut program);
-            let full = program.annotations.clone().expect("annotated");
-            program.annotations = Some(full.capped(cap));
-            let mut sim = levioso_uarch::Simulator::new(&program, config.clone());
-            w.apply_memory(&mut sim);
-            let stats = sim
-                .run(Scheme::Levioso.policy().as_ref())
-                .unwrap_or_else(|e| panic!("{} cap {cap}: {e}", w.name));
-            assert_eq!(
-                sim.mem.read_i64(w.checksum_addr),
-                w.expected_checksum(),
-                "{} cap {cap}: checksum mismatch",
-                w.name
-            );
-            throughput::record(stats.cycles, stats.committed, cell_start.elapsed());
-            stats.cycles as f64
-        }
+        Some(cap) => run_workload_capped(w, cap, &config).cycles as f64,
     });
     let baselines = &cycles[..workloads.len()];
     let mut f = Figure::new(

@@ -72,11 +72,27 @@ impl Sweep {
         R: Send,
         F: Fn(&T, &mut Xoshiro256pp) -> R + Sync,
     {
+        self.map_with_costs(cells, &[], f)
+    }
+
+    /// [`Sweep::map`] with per-cell cost estimates steering the schedule
+    /// (see [`levioso_support::Pool::run_with_costs`]): expensive cells are
+    /// dealt and started first, idle workers steal the tail. Costs are
+    /// advisory — outputs are in cell order and bit-identical for any cost
+    /// vector and any thread count, and each cell's RNG stream still
+    /// depends only on its position (streams are split sequentially before
+    /// any worker starts).
+    pub fn map_with_costs<T, R, F>(&self, cells: &[T], costs: &[u64], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, &mut Xoshiro256pp) -> R + Sync,
+    {
         // Seeds are split sequentially up front — the only part of the
         // pipeline that is order-sensitive — then cells run in any order.
         let mut master = Xoshiro256pp::seed_from_u64(self.master_seed);
         let streams: Vec<Xoshiro256pp> = (0..cells.len()).map(|_| master.split()).collect();
-        self.pool.run(cells, |i, cell| {
+        self.pool.run_with_costs(cells, costs, |i, cell| {
             let mut rng = streams[i].clone();
             f(cell, &mut rng)
         })

@@ -28,6 +28,14 @@ pub struct Opts {
     pub quiet: bool,
     /// Additionally emit the delay-attribution report (`ATTRIB_*`).
     pub attrib: bool,
+    /// Disable the sweep-cell cache for this run (every cell recomputes;
+    /// what `scripts/perf.sh` forces so throughput samples are never
+    /// polluted by cached cells).
+    pub no_cache: bool,
+    /// Resume an interrupted run from the persisted cells: the eager
+    /// per-cell store *is* the checkpoint, so this just requires the cache
+    /// to be on and reports how many cells are already banked.
+    pub resume: bool,
 }
 
 impl Opts {
@@ -43,6 +51,8 @@ impl Opts {
             bless: false,
             quiet: false,
             attrib: false,
+            no_cache: false,
+            resume: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -57,6 +67,8 @@ impl Opts {
                 "--bless" if gate_flags => opts.bless = true,
                 "--quiet" | "-q" => opts.quiet = true,
                 "--attrib" if attrib_flag => opts.attrib = true,
+                "--no-cache" => opts.no_cache = true,
+                "--resume" => opts.resume = true,
                 "--help" | "-h" => {
                     eprintln!("{}", usage(gate_flags, attrib_flag));
                     exit(0);
@@ -68,6 +80,24 @@ impl Opts {
         }
         if opts.check && opts.bless {
             usage_error(gate_flags, attrib_flag, "--check and --bless are mutually exclusive");
+        }
+        if opts.no_cache && opts.resume {
+            usage_error(
+                gate_flags,
+                attrib_flag,
+                "--resume needs the cell cache; it cannot be combined with --no-cache",
+            );
+        }
+        if opts.no_cache {
+            levioso_bench::cellcache::configure(levioso_support::Cache::disabled());
+            levioso_nisec::cellcache::configure(levioso_support::Cache::disabled());
+        }
+        if opts.resume && !levioso_bench::cellcache::enabled() {
+            usage_error(
+                gate_flags,
+                attrib_flag,
+                "--resume needs the cell cache, but LEVIOSO_SWEEP_CACHE=off disabled it",
+            );
         }
         opts
     }
@@ -103,11 +133,13 @@ fn usage(gate_flags: bool, attrib_flag: bool) -> String {
         ""
     };
     format!(
-        "usage: [--smoke|--paper] [--threads N] [--quiet]{gate}{attrib}\n\
+        "usage: [--smoke|--paper] [--threads N] [--quiet] [--no-cache] [--resume]{gate}{attrib}\n\
          \n  --smoke        reduced problem sizes and sweep grids (the CI tier)\
          \n  --paper        full evaluation settings (default; or LEVIOSO_SCALE env)\
          \n  --threads N    worker threads (default: LEVIOSO_THREADS or all cores)\
-         \n  --quiet, -q    suppress rendered reports on stdout"
+         \n  --quiet, -q    suppress rendered reports on stdout\
+         \n  --no-cache     recompute every sweep cell (results are identical either way)\
+         \n  --resume       continue an interrupted run from the persisted cells"
     )
 }
 
@@ -158,6 +190,20 @@ pub fn json_str_field(doc: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
+/// Extracts a `"key": true|false` field.
+pub fn json_bool_field(doc: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 /// Extracts a `"key": <number>` field.
 pub fn json_num_field(doc: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
@@ -171,21 +217,26 @@ pub fn json_num_field(doc: &str, key: &str) -> Option<f64> {
 }
 
 /// Renders `results/BENCH_sim_throughput.json`: the current run's
-/// simulator-throughput snapshot plus the preserved `baseline` object (the
-/// pre-change reference recorded by `scripts/perf.sh`; `null` until one is
-/// recorded).
+/// simulator-throughput snapshot (including the sweep-cache split — the
+/// meter only samples freshly computed cells, so `perfcheck` needs the
+/// hit/miss counts to judge the sample) plus the preserved `baseline`
+/// object (the pre-change reference recorded by `scripts/perf.sh`; `null`
+/// until one is recorded).
 pub fn throughput_json(
     t: &levioso_bench::Throughput,
     tier: Tier,
     threads: usize,
     wall_seconds: f64,
+    cache: &levioso_support::CacheReport,
+    cache_enabled: bool,
     baseline: Option<&str>,
 ) -> String {
     let current = format!(
         "{{\n    \"tier\": \"{}\",\n    \"threads\": {},\n    \"cells\": {},\n    \
          \"sim_cycles\": {},\n    \"retired_instrs\": {},\n    \"busy_seconds\": {:.3},\n    \
          \"wall_seconds\": {:.3},\n    \"cells_per_busy_sec\": {:.3},\n    \
-         \"kilocycles_per_busy_sec\": {:.3},\n    \"retired_per_busy_sec\": {:.3}\n  }}",
+         \"kilocycles_per_busy_sec\": {:.3},\n    \"retired_per_busy_sec\": {:.3},\n    \
+         \"cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"poisoned\": {} }}\n  }}",
         tier.name(),
         threads,
         t.cells,
@@ -196,9 +247,13 @@ pub fn throughput_json(
         t.cells_per_busy_sec(),
         t.kilocycles_per_busy_sec(),
         t.retired_per_busy_sec(),
+        cache_enabled,
+        cache.hits,
+        cache.misses,
+        cache.poisoned,
     );
     format!(
-        "{{\n  \"schema\": \"levioso-sim-throughput/1\",\n  \"current\": {},\n  \"baseline\": {}\n}}\n",
+        "{{\n  \"schema\": \"levioso-sim-throughput/2\",\n  \"current\": {},\n  \"baseline\": {}\n}}\n",
         current,
         baseline.unwrap_or("null"),
     )

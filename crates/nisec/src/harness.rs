@@ -14,12 +14,14 @@
 //! * **cleanliness** — every delaying scheme in [`ENFORCED_CLEAN`] must show
 //!   zero divergences on every cell and every observer.
 
+use crate::cellcache;
 use crate::generator::{gen_program, gen_secret_pair, SecretProgram};
 use crate::observer::{diff, Divergence, Observer, Recorder};
 use levioso_core::Scheme;
 use levioso_stats::{leak_matrix_table, Table};
 use levioso_support::{Json, Pool, Xoshiro256pp};
 use levioso_uarch::{CoreConfig, Simulator};
+use std::time::Instant;
 
 /// Default master seed for the fuzzing campaign (distinct from the bench
 /// sweep seed so the two corpora are uncorrelated).
@@ -134,8 +136,11 @@ fn record_pair(
 ///
 /// Determinism: program and secret-pair generation consume per-program RNG
 /// streams split from the master seed *in order, before any worker runs*,
-/// and the job list has a fixed order that [`Pool::run`] preserves in its
-/// results — so the report is identical at any thread count.
+/// and the job list has a fixed order that [`Pool::run_with_costs`]
+/// preserves in its results — so the report is identical at any thread
+/// count. Cell verdicts are replayed from the [`cellcache`] when a
+/// persisted cell matches the generated inputs; divergences round-trip
+/// exactly, so warm, cold, and mixed cache campaigns are byte-identical.
 pub fn fuzz(config: &FuzzConfig, schemes: &[Scheme]) -> FuzzReport {
     /// A generated program plus its secret pairs (one `Vec<(a, b)>` per pair
     /// index, one `(a, b)` per gadget).
@@ -161,11 +166,42 @@ pub fn fuzz(config: &FuzzConfig, schemes: &[Scheme]) -> FuzzReport {
         }
     }
 
+    let core = CoreConfig::default();
+    let keys: Vec<String> = jobs
+        .iter()
+        .map(|&(p, pair, scheme)| {
+            let (sp, pairs) = &corpus[p];
+            cellcache::cell_key(sp, &pairs[pair], scheme.name(), &core)
+        })
+        .collect();
+    let costs: Vec<u64> = keys
+        .iter()
+        .map(|key| {
+            cellcache::with(|c| c.estimate_cost(key)).unwrap_or(levioso_support::pool::UNKNOWN_COST)
+        })
+        .collect();
+
     let pool = if config.threads == 0 { Pool::from_env() } else { Pool::new(config.threads) };
-    let results = pool.run(&jobs, |_, &(p, pair, scheme)| {
+    let results = pool.run_with_costs(&jobs, &costs, |i, &(p, pair, scheme)| {
+        let label = cellcache::cell_label(scheme.name(), p, pair);
+        if let Some(diverged) = cellcache::with(|c| c.lookup(&label, &keys[i]))
+            .and_then(|doc| cellcache::diverged_from_json(&doc))
+        {
+            return CellResult { scheme, program: p, pair, diverged };
+        }
+        let started = Instant::now();
         let (sp, pairs) = &corpus[p];
         let [a, b] = record_pair(sp, &pairs[pair], scheme);
-        let diverged = Observer::ALL.iter().map(|&o| diff(o, &a, &b)).collect();
+        let diverged: Vec<Option<Divergence>> =
+            Observer::ALL.iter().map(|&o| diff(o, &a, &b)).collect();
+        cellcache::with(|c| {
+            c.store(
+                &label,
+                &keys[i],
+                &cellcache::diverged_to_json(&diverged),
+                started.elapsed().as_nanos() as u64,
+            )
+        });
         CellResult { scheme, program: p, pair, diverged }
     });
 

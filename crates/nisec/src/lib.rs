@@ -22,9 +22,15 @@
 //!   delaying schemes must be clean *and* the unsafe baseline must be caught
 //!   (non-vacuity), so a green gate is evidence rather than absence of
 //!   signal.
+//!
+//! [`cellcache`] binds the campaign to the repo-wide sweep-cell cache
+//! (`levioso_support::cache`): each `(program, pair, scheme)` verdict is
+//! keyed by its concrete generated inputs and persisted, so a re-run under
+//! an unchanged core fingerprint replays verdicts instead of simulating.
 
 #![warn(missing_docs)]
 
+pub mod cellcache;
 pub mod generator;
 pub mod harness;
 pub mod observer;

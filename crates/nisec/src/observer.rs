@@ -334,8 +334,10 @@ pub struct Divergence {
     /// Delay-attribution rule of the nearest policy-block event preceding
     /// the divergent observation in run A's full stream, if any — the
     /// context the gate reports so a leak can be traced to the rule that
-    /// should have (but did not) delay the transmitter.
-    pub rule_context: Option<&'static str>,
+    /// should have (but did not) delay the transmitter. Owned (not
+    /// `&'static str`) so divergences round-trip through the persisted
+    /// sweep-cell cache.
+    pub rule_context: Option<String>,
 }
 
 impl std::fmt::Display for Divergence {
@@ -346,7 +348,7 @@ impl std::fmt::Display for Divergence {
             self.index,
             self.a,
             self.b,
-            self.rule_context.unwrap_or("<none>")
+            self.rule_context.as_deref().unwrap_or("<none>")
         )
     }
 }
@@ -363,7 +365,7 @@ pub fn diff(observer: Observer, a_events: &[Ev], b_events: &[Ev]) -> Option<Dive
             let src = oa.map(|o| o.src).unwrap_or(a_events.len());
             let rule_context =
                 a_events[..src.min(a_events.len())].iter().rev().find_map(|ev| match *ev {
-                    Ev::Block { rule, .. } => Some(rule),
+                    Ev::Block { rule, .. } => Some(rule.to_string()),
                     _ => None,
                 });
             return Some(Divergence {

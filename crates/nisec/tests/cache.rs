@@ -1,0 +1,44 @@
+//! Warm-cache replay of the noninterference campaign: a persisted cell's
+//! verdict must round-trip exactly, so a fully warm campaign renders a
+//! byte-identical report without running a single simulation.
+//!
+//! This file is its own test binary (one process), so reconfiguring the
+//! process-global cache handle cannot race the campaign tests in
+//! `noninterference.rs`.
+
+use levioso_core::Scheme;
+use levioso_nisec::{cellcache, fuzz, FuzzConfig, DEFAULT_SEED};
+use levioso_support::Cache;
+
+#[test]
+fn warm_campaign_replays_byte_identical_reports() {
+    let root = std::env::temp_dir().join(format!("levioso-nisec-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create temp cache root");
+    cellcache::configure(Cache::new(root, "test-v1"));
+
+    let config = FuzzConfig { programs: 4, pairs_per_program: 2, seed: DEFAULT_SEED, threads: 2 };
+    let schemes = [Scheme::Unsafe, Scheme::Levioso];
+
+    let cold = fuzz(&config, &schemes);
+    let cold_report = cellcache::report();
+    assert!(cold_report.misses > 0, "cold campaign must compute cells");
+    assert_eq!(cold_report.hits, 0, "cold campaign cannot hit an empty cache");
+
+    cellcache::reset_counters();
+    let warm = fuzz(&config, &schemes);
+    let warm_report = cellcache::report();
+    assert_eq!(cold, warm, "replayed verdicts must equal computed ones, divergences included");
+    assert_eq!(cold.render(), warm.render(), "rendered reports are byte-identical");
+    assert_eq!(cold.to_json(), warm.to_json());
+    assert_eq!(warm_report.misses, 0, "fully warm campaign must not re-simulate");
+    assert_eq!(warm_report.hits, cold_report.misses, "every cold cell replays");
+
+    // Warm replay is also thread-count independent (the cold campaign
+    // already is — pinned by `noninterference.rs`).
+    cellcache::reset_counters();
+    let warm_serial = fuzz(&FuzzConfig { threads: 1, ..config.clone() }, &schemes);
+    assert_eq!(cold, warm_serial);
+
+    cellcache::configure(Cache::disabled());
+}

@@ -1,0 +1,518 @@
+//! A content-addressed on-disk cache for sweep cells.
+//!
+//! Every bench/nisec sweep decomposes into independent cells — one
+//! simulation (or simulation pair) each — whose outputs are pure functions
+//! of their serialized inputs *plus the simulator's semantics*. This module
+//! gives those cells a persistent identity:
+//!
+//! * the **key** is a stable 128-bit content hash of the cell's full input
+//!   description (workload program text, memory image, scheme, config,
+//!   seeds — whatever the caller serializes);
+//! * the **namespace** is a sim-core *fingerprint* directory (derived from
+//!   `levioso_uarch::CORE_REV`), so bumping the core revision invalidates
+//!   every cell at once without deleting anything — old-fingerprint cells
+//!   stay on disk and keep serving *cost estimates* for the scheduler;
+//! * the **value** is a [`Json`] result document wrapped in an envelope
+//!   that stores the full input text, an integrity hash over
+//!   `input + result`, and the cell's measured compute cost
+//!   (`busy_nanos`).
+//!
+//! Correctness properties (pinned by tests here and in `levioso-bench`):
+//!
+//! * a lookup whose stored input text differs from the requested input
+//!   (hash collision, hand-edited file) is a **miss**, never a wrong hit;
+//! * a lookup whose integrity hash does not match the stored
+//!   `input + result` bytes (tampering, torn write, bit rot) is counted as
+//!   **poisoned** and recomputed;
+//! * stores write to a unique temp file and `rename` into place, so
+//!   concurrent writers of the same key (two sweeps racing on a shared
+//!   cell) leave one complete envelope, never a torn one;
+//! * a disabled cache ([`Cache::disabled`], `LEVIOSO_SWEEP_CACHE=off`)
+//!   never touches the filesystem — every lookup is a miss and every store
+//!   a no-op — so cached and uncached runs of a deterministic sweep are
+//!   byte-identical by construction.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Envelope schema tag; bump if the on-disk layout changes.
+const SCHEMA: &str = "levioso-sweep-cell/1";
+
+/// 64-bit FNV-1a over a byte stream, from `seed` (pass [`FNV_OFFSET`] for
+/// the standard offset basis). Stable across platforms and releases — the
+/// on-disk cache key depends on it.
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Second seed for the independent hash lane (the offset basis of the
+/// FNV-0 variant of "chongo <Landon Curt Noll>"; any fixed odd constant
+/// works — it only needs to differ from [`FNV_OFFSET`]).
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+/// 128 bits of content hash as 32 lowercase hex characters: two
+/// independently seeded FNV-1a lanes. Collisions are additionally guarded
+/// by the stored-input comparison in [`Cache::lookup`], so this only needs
+/// to make accidental filename collisions vanishingly rare.
+pub fn stable_hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}{:016x}", fnv1a64(FNV_OFFSET, bytes), fnv1a64(FNV_OFFSET_B, bytes))
+}
+
+/// Point-in-time snapshot of a cache's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that found nothing valid (cold, invalidated, collided).
+    pub misses: u64,
+    /// Subset of misses where an envelope existed but failed its
+    /// integrity hash — tampering or torn data, recomputed from scratch.
+    pub poisoned: u64,
+    /// Envelopes written.
+    pub stores: u64,
+    /// Human labels of every missed cell, sorted (the "which cells did
+    /// this change invalidate" report).
+    pub miss_labels: Vec<String>,
+}
+
+impl CacheReport {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// One-line human summary: the hit/miss split CI logs and asserts on.
+    pub fn summary(&self, fingerprint: &str) -> String {
+        format!(
+            "sweep-cache: {} hits, {} misses, {} poisoned ({} lookups, fingerprint {})",
+            self.hits,
+            self.misses,
+            self.poisoned,
+            self.lookups(),
+            fingerprint
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    poisoned: AtomicU64,
+    stores: AtomicU64,
+    miss_labels: Mutex<Vec<String>>,
+}
+
+/// A content-addressed cell cache rooted at `root/<fingerprint>/`.
+///
+/// Cloning is cheap and shares the counters, so one logical cache can be
+/// consulted from many sweep workers.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    root: PathBuf,
+    fingerprint: String,
+    enabled: bool,
+    counters: Arc<Counters>,
+}
+
+impl Cache {
+    /// An enabled cache at `root/<fingerprint>/`.
+    pub fn new(root: impl Into<PathBuf>, fingerprint: impl Into<String>) -> Cache {
+        Cache {
+            root: root.into(),
+            fingerprint: fingerprint.into(),
+            enabled: true,
+            counters: Arc::default(),
+        }
+    }
+
+    /// A cache that never hits and never writes. Lookups still count as
+    /// misses so reports stay meaningful.
+    pub fn disabled() -> Cache {
+        Cache {
+            root: PathBuf::new(),
+            fingerprint: String::from("disabled"),
+            enabled: false,
+            counters: Arc::default(),
+        }
+    }
+
+    /// Cache configured by the environment: rooted at
+    /// `LEVIOSO_SWEEP_CACHE_DIR` (default [`default_root`]), disabled
+    /// entirely when `LEVIOSO_SWEEP_CACHE` is `off`/`0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `LEVIOSO_SWEEP_CACHE` value — a typo that
+    /// silently left caching on (or off) would change what a CI run
+    /// measures.
+    pub fn from_env(fingerprint: impl Into<String>) -> Cache {
+        match std::env::var("LEVIOSO_SWEEP_CACHE").ok().as_deref() {
+            Some("off") | Some("0") => return Cache::disabled(),
+            None | Some("") | Some("on") | Some("1") => {}
+            Some(other) => panic!(
+                "unknown LEVIOSO_SWEEP_CACHE value {other:?}: expected unset, \"on\"/\"1\", or \
+                 \"off\"/\"0\""
+            ),
+        }
+        let root = std::env::var("LEVIOSO_SWEEP_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| default_root());
+        Cache::new(root, fingerprint)
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The sim-core fingerprint this cache is namespaced under.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The directory this cache's cells live in.
+    pub fn dir(&self) -> PathBuf {
+        self.root.join(&self.fingerprint)
+    }
+
+    fn cell_path(&self, input: &str) -> PathBuf {
+        self.dir().join(format!("{}.json", stable_hash_hex(input.as_bytes())))
+    }
+
+    /// Integrity hash stored in (and checked against) an envelope: the
+    /// input text plus the canonical emission of the result document.
+    fn integrity_hash(input: &str, result: &Json) -> String {
+        let mut bytes = input.as_bytes().to_vec();
+        bytes.extend_from_slice(result.emit().as_bytes());
+        stable_hash_hex(&bytes)
+    }
+
+    fn count_miss(&self, label: &str) {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.miss_labels.lock().expect("miss label lock").push(label.to_string());
+    }
+
+    /// Looks up the result for `input`. `label` is the human cell name
+    /// recorded on a miss (e.g. `fig2:hash_join/levioso`).
+    ///
+    /// Returns the cached result document only when the stored envelope is
+    /// (a) parseable, (b) for this exact input text, and (c) intact under
+    /// the integrity hash. Anything else is a miss (and, for case (c), a
+    /// poisoning) — the caller recomputes and re-stores.
+    pub fn lookup(&self, label: &str, input: &str) -> Option<Json> {
+        if !self.enabled {
+            self.count_miss(label);
+            return None;
+        }
+        let path = self.cell_path(input);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.count_miss(label);
+            return None;
+        };
+        match Self::validate_envelope(&text, input) {
+            Ok(result) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            Err(poisoned) => {
+                if poisoned {
+                    self.counters.poisoned.fetch_add(1, Ordering::Relaxed);
+                }
+                self.count_miss(label);
+                None
+            }
+        }
+    }
+
+    /// Validates one envelope against the requested input. `Ok(result)` on
+    /// a clean hit; `Err(true)` when the envelope exists for this input but
+    /// fails its integrity hash (poisoned); `Err(false)` for structural
+    /// mismatches (unparseable, different input → treat as plain miss).
+    fn validate_envelope(text: &str, input: &str) -> Result<Json, bool> {
+        let doc = Json::parse(text).map_err(|_| true)?;
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(true);
+        }
+        match doc.get("input").and_then(Json::as_str) {
+            // A different input under the same filename is a hash
+            // collision, not corruption: miss, don't alarm.
+            Some(stored) if stored != input => return Err(false),
+            Some(_) => {}
+            None => return Err(true),
+        }
+        let result = doc.get("result").ok_or(true)?;
+        let stored_hash = doc.get("input_hash").and_then(Json::as_str).ok_or(true)?;
+        if stored_hash != Self::integrity_hash(input, result) {
+            return Err(true);
+        }
+        Ok(result.clone())
+    }
+
+    /// Persists `result` for `input`, recording the cell's measured
+    /// compute cost. No-op when disabled; I/O errors are swallowed (a
+    /// cache that cannot write degrades to recomputation, it never fails
+    /// the sweep).
+    pub fn store(&self, label: &str, input: &str, result: &Json, busy_nanos: u64) {
+        if !self.enabled {
+            return;
+        }
+        let envelope = Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("label", Json::str(label)),
+            ("fingerprint", Json::str(&self.fingerprint)),
+            ("input_hash", Json::str(Self::integrity_hash(input, result))),
+            ("busy_nanos", Json::I64(busy_nanos.min(i64::MAX as u64) as i64)),
+            ("input", Json::str(input)),
+            ("result", result.clone()),
+        ]);
+        let dir = self.dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = self.cell_path(input);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{:x}",
+            std::process::id(),
+            self.counters.stores.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, envelope.emit_pretty()).is_ok()
+            && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Estimated compute cost (busy nanoseconds) for `input`, from this
+    /// fingerprint's stored cell or — when the cell was invalidated by a
+    /// fingerprint bump — from any sibling fingerprint's cell with the
+    /// same key (cells keep their filename across fingerprints, so a prior
+    /// revision's measured cost still ranks the cell for scheduling).
+    ///
+    /// Advisory only: costs order work, they never touch results.
+    pub fn estimate_cost(&self, input: &str) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let file = format!("{}.json", stable_hash_hex(input.as_bytes()));
+        if let Some(cost) = read_cost(&self.dir().join(&file)) {
+            return Some(cost);
+        }
+        // Sibling fingerprints, newest-looking first (sorted descending —
+        // deterministic, and exact order is irrelevant: any measured cost
+        // beats none).
+        let mut siblings: Vec<PathBuf> = std::fs::read_dir(&self.root)
+            .ok()?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name().and_then(|n| n.to_str()) != Some(self.fingerprint.as_str())
+            })
+            .collect();
+        siblings.sort();
+        siblings.iter().rev().find_map(|dir| read_cost(&dir.join(&file)))
+    }
+
+    /// Number of cells currently persisted under this fingerprint (the
+    /// `--resume` report).
+    pub fn cell_count(&self) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        std::fs::read_dir(self.dir())
+            .map(|rd| {
+                rd.flatten().filter(|e| e.path().extension().is_some_and(|x| x == "json")).count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the counters, miss labels sorted for deterministic
+    /// reporting.
+    pub fn report(&self) -> CacheReport {
+        let mut miss_labels = self.counters.miss_labels.lock().expect("miss label lock").clone();
+        miss_labels.sort();
+        CacheReport {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            poisoned: self.counters.poisoned.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            miss_labels,
+        }
+    }
+
+    /// Zeroes the counters (between phases of a multi-sweep process).
+    pub fn reset_counters(&self) {
+        self.counters.hits.store(0, Ordering::Relaxed);
+        self.counters.misses.store(0, Ordering::Relaxed);
+        self.counters.poisoned.store(0, Ordering::Relaxed);
+        self.counters.stores.store(0, Ordering::Relaxed);
+        self.counters.miss_labels.lock().expect("miss label lock").clear();
+    }
+}
+
+/// Reads the `busy_nanos` field of an envelope without validating the
+/// result payload (costs are advisory).
+fn read_cost(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let nanos = doc.get("busy_nanos")?.as_i64()?;
+    u64::try_from(nanos).ok()
+}
+
+/// The workspace's shared cache root: `target/sweep-cache/` at the repo
+/// root, regardless of working directory.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/sweep-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("levioso-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp cache root");
+        dir
+    }
+
+    fn result_doc(v: i64) -> Json {
+        Json::obj([("cycles", Json::I64(v))])
+    }
+
+    #[test]
+    fn hash_is_pinned() {
+        // The on-disk key format must never drift silently.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            stable_hash_hex(b"levioso"),
+            format!(
+                "{:016x}{:016x}",
+                fnv1a64(FNV_OFFSET, b"levioso"),
+                fnv1a64(FNV_OFFSET_B, b"levioso")
+            )
+        );
+        assert_eq!(stable_hash_hex(b"x").len(), 32);
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let cache = Cache::new(tmpdir("roundtrip"), "v1");
+        assert_eq!(cache.lookup("cell", "input-a"), None);
+        cache.store("cell", "input-a", &result_doc(42), 1_000);
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(42)));
+        let r = cache.report();
+        assert_eq!((r.hits, r.misses, r.poisoned, r.stores), (1, 1, 0, 1));
+        assert_eq!(r.miss_labels, vec!["cell".to_string()]);
+    }
+
+    #[test]
+    fn different_input_same_key_never_hits() {
+        let cache = Cache::new(tmpdir("inputs"), "v1");
+        cache.store("a", "input-a", &result_doc(1), 0);
+        assert_eq!(cache.lookup("b", "input-b"), None, "distinct input is a miss");
+        assert_eq!(cache.lookup("a", "input-a"), Some(result_doc(1)));
+    }
+
+    #[test]
+    fn tampered_result_is_poisoned_and_missed() {
+        let cache = Cache::new(tmpdir("poison"), "v1");
+        cache.store("cell", "input-a", &result_doc(42), 0);
+        let path = cache.dir().join(format!("{}.json", stable_hash_hex(b"input-a")));
+        let tampered = std::fs::read_to_string(&path).unwrap().replace("42", "43");
+        assert_ne!(tampered, std::fs::read_to_string(&path).unwrap());
+        std::fs::write(&path, tampered).unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), None, "tampered cell must not hit");
+        assert_eq!(cache.report().poisoned, 1);
+        // Recompute + re-store heals it.
+        cache.store("cell", "input-a", &result_doc(42), 0);
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(42)));
+    }
+
+    #[test]
+    fn unparseable_envelope_is_poisoned() {
+        let cache = Cache::new(tmpdir("garbage"), "v1");
+        cache.store("cell", "input-a", &result_doc(7), 0);
+        let path = cache.dir().join(format!("{}.json", stable_hash_hex(b"input-a")));
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), None);
+        assert_eq!(cache.report().poisoned, 1);
+    }
+
+    #[test]
+    fn fingerprint_bump_invalidates_everything_but_keeps_costs() {
+        let root = tmpdir("bump");
+        let v1 = Cache::new(&root, "v1");
+        for i in 0..4 {
+            v1.store(&format!("cell{i}"), &format!("input-{i}"), &result_doc(i), 500 + i as u64);
+        }
+        let v2 = Cache::new(&root, "v2");
+        for i in 0..4i64 {
+            assert_eq!(v2.lookup(&format!("cell{i}"), &format!("input-{i}")), None);
+        }
+        let r = v2.report();
+        assert_eq!(r.misses, 4, "every cell dirty after a fingerprint bump");
+        assert_eq!(r.hits, 0);
+        assert_eq!(
+            r.miss_labels,
+            vec!["cell0".to_string(), "cell1".into(), "cell2".into(), "cell3".into()]
+        );
+        // ...but the prior revision's measured costs still rank the cells.
+        assert_eq!(v2.estimate_cost("input-2"), Some(502));
+        assert_eq!(v2.estimate_cost("never-stored"), None);
+    }
+
+    #[test]
+    fn disabled_cache_touches_nothing() {
+        let cache = Cache::disabled();
+        cache.store("cell", "input", &result_doc(1), 0);
+        assert_eq!(cache.lookup("cell", "input"), None);
+        assert_eq!(cache.cell_count(), 0);
+        assert_eq!(cache.estimate_cost("input"), None);
+        let r = cache.report();
+        assert_eq!((r.hits, r.misses, r.stores), (0, 1, 0));
+    }
+
+    #[test]
+    fn cell_count_reflects_stores() {
+        let cache = Cache::new(tmpdir("count"), "v1");
+        assert_eq!(cache.cell_count(), 0);
+        cache.store("a", "input-a", &result_doc(1), 0);
+        cache.store("b", "input-b", &result_doc(2), 0);
+        cache.store("a", "input-a", &result_doc(1), 0); // overwrite, not a new cell
+        assert_eq!(cache.cell_count(), 2);
+    }
+
+    #[test]
+    fn reset_counters_clears_the_report() {
+        let cache = Cache::new(tmpdir("reset"), "v1");
+        cache.lookup("cell", "input");
+        cache.reset_counters();
+        let r = cache.report();
+        assert_eq!((r.hits, r.misses, r.poisoned, r.stores), (0, 0, 0, 0));
+        assert!(r.miss_labels.is_empty());
+    }
+
+    #[test]
+    fn summary_line_has_the_split() {
+        let report =
+            CacheReport { hits: 300, misses: 16, poisoned: 1, stores: 16, miss_labels: vec![] };
+        let line = report.summary("core-v1");
+        assert!(line.starts_with("sweep-cache: 300 hits, 16 misses, 1 poisoned"), "{line}");
+        assert!(line.contains("core-v1"), "{line}");
+    }
+}

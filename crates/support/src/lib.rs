@@ -12,7 +12,8 @@
 //! | [`json`] | `serde`/`serde_json` | a small JSON value type with emit + parse |
 //! | [`check`] | `proptest` | seeded generators, an iteration budget, failing-input reports |
 //! | [`bench`] | `criterion` | a wall-clock benchmark runner with a compatible surface |
-//! | [`pool`] | `rayon` | a scoped worker pool with order-stable, panic-transparent fan-out |
+//! | [`pool`] | `rayon` | a work-stealing worker pool with order-stable, panic-transparent fan-out |
+//! | [`cache`] | — | a content-addressed on-disk cell cache for incremental sweeps |
 //! | [`histogram`] | `hdrhistogram` | fixed-footprint log2-bucketed latency histograms |
 //!
 //! All randomness is deterministic: the same seed always reproduces the
@@ -23,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod cache;
 pub mod check;
 pub mod histogram;
 pub mod json;
@@ -30,6 +32,7 @@ pub mod pool;
 pub mod rng;
 
 pub use bench::{BatchSize, Bench, Bencher};
+pub use cache::{Cache, CacheReport};
 pub use check::{Config, Gen};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};

@@ -31,6 +31,30 @@ pub mod stats;
 pub mod trace;
 
 pub use crate::core::{SimError, Simulator};
+
+/// Semantic revision of the simulator core and its policy surface.
+///
+/// **Bump this whenever a change can alter simulated results** — pipeline
+/// timing, cache/predictor behavior, policy predicates, stats accounting,
+/// workload generation feeding the sweeps. The constant namespaces the
+/// on-disk sweep cache (`target/sweep-cache/<fingerprint>/`) and is
+/// recorded in `results/golden/core_rev.json` at bless time: re-blessing
+/// changed golden content without bumping this is refused by the bless
+/// guard and caught by the manifest consistency test, so a stale cached
+/// cell can never masquerade as a current result.
+///
+/// Pure refactors and bench/CI plumbing do **not** need a bump — if the
+/// golden content doesn't move, the old cells are still valid. Anything
+/// that moves the blessed golden bytes (changed numbers, or a changed
+/// figure definition) does.
+pub const CORE_REV: u32 = 1;
+
+/// The sim-core fingerprint derived from [`CORE_REV`]: the namespace
+/// directory for cached sweep cells and the revision string recorded in
+/// the golden manifest.
+pub fn core_fingerprint() -> String {
+    format!("core-v{CORE_REV}")
+}
 pub use cache::{CacheStats, Hierarchy, SetAssocCache};
 pub use config::{CacheConfig, CoreConfig, HierarchyConfig, PredictorConfig};
 pub use dyninstr::{DynInstr, OpState, Operand, Operands, Seq, Stage};

@@ -5,69 +5,141 @@
 # policy"): every dependency is an in-tree path crate, so everything here
 # runs with --offline and must pass on a machine with no registry access.
 #
-#   1. tier-1 verify:     cargo build --release && cargo test -q — first
-#                         and fast, so the basic contract fails early
-#   2. format gate:       rustfmt --check against rustfmt.toml
-#   3. lint gate:         clippy on every workspace target (this compiles
-#                         the full workspace with all targets, so no
-#                         separate workspace build step is needed),
-#                         warnings are errors
-#   4. workspace tests:   unit, property, integration, and doc tests
-#   5. golden gate:       the smoke-tier bench sweep checked against
-#                         results/golden/smoke/ — exits nonzero with a
-#                         per-cell diff on any drift (see README.md "CI")
-#   6. throughput check:  perfcheck validates and summarizes the
-#                         results/BENCH_sim_throughput.json snapshot the
-#                         golden gate just wrote — fails if it is missing
-#                         or malformed, so simulator-throughput tracking
-#                         cannot silently rot
-#   7. trace smoke:       levitrace traces one smoke cell, exporting the
-#                         Chrome/Perfetto trace and proving blame
-#                         conservation + JSON round-trip (the binary
-#                         exits nonzero on either violation)
-#   8. noninterference:   table4_noninterference fuzzes every scheme with
-#                         two-run secret pairs at the smoke tier — fails on
-#                         any observation diff from a delaying scheme AND
-#                         on a clean unsafe baseline (vacuity: a gate that
-#                         cannot catch the known-leaky scheme proves
-#                         nothing)
+# Steps, grouped by subcommand:
 #
-# Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
+#   lint:
+#     format gate:        rustfmt --check against rustfmt.toml
+#     lint gate:          clippy on every workspace target, warnings denied
+#
+#   test:
+#     tier-1 verify:      cargo build --release && cargo test -q — first
+#                         and fast, so the basic contract fails early
+#     workspace tests:    unit, property, integration, and doc tests
+#     golden gate:        the smoke-tier bench sweep checked against
+#                         results/golden/smoke/ — exits nonzero with a
+#                         per-cell diff on any drift; the run reuses the
+#                         persisted sweep-cell cache under
+#                         target/sweep-cache/ so unchanged cells replay
+#                         instead of recomputing (results are identical
+#                         either way — pinned by crates/bench/tests)
+#     throughput check:   perfcheck validates the snapshot the golden gate
+#                         just wrote, including that busy-time samples came
+#                         only from freshly computed cells
+#     trace smoke:        levitrace traces one smoke cell, proving blame
+#                         conservation + JSON round-trip
+#     noninterference:    table4_noninterference fuzzes every scheme with
+#                         two-run secret pairs at the smoke tier (cells
+#                         replay from the same sweep-cell cache)
+#     cache split:        asserts the golden gate printed its sweep-cache
+#                         hit/miss line — a run that silently stopped
+#                         reporting the split would hide cache rot
+#
+# Every step's wall-clock is reported inline and written machine-readably
+# to target/ci_timing.json (schema levioso-ci-timing/1), so a CI run's
+# time budget can be tracked step by step across commits.
+#
+# Usage: scripts/ci.sh [lint|test|all]   (default: all; from anywhere)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+mode=${1:-all}
+case "$mode" in
+  lint|test|all) ;;
+  *)
+    echo "usage: scripts/ci.sh [lint|test|all]" >&2
+    exit 2
+    ;;
+esac
+
 start=$SECONDS
+step_names=()
+step_seconds=()
 
-echo "==> tier-1: cargo build --release"
-cargo build --release --offline
+# run_step <label> <function>: runs the function, echoing the label first
+# and recording its wall-clock for the timing report.
+run_step() {
+  local label="$1" fn="$2"
+  local t0=$SECONDS
+  echo "==> $label"
+  "$fn"
+  local dt=$((SECONDS - t0))
+  echo "    [${dt}s] $label"
+  step_names+=("$label")
+  step_seconds+=("$dt")
+}
 
-echo "==> tier-1: cargo test -q"
-cargo test -q --offline
+# Written on every exit (including failures) so a red run still records
+# how far it got and where the time went.
+write_timing() {
+  mkdir -p target
+  {
+    echo '{'
+    echo '  "schema": "levioso-ci-timing/1",'
+    echo "  \"mode\": \"$mode\","
+    echo '  "steps": ['
+    local i
+    for i in "${!step_names[@]}"; do
+      local comma=','
+      [[ $i -eq $((${#step_names[@]} - 1)) ]] && comma=''
+      echo "    { \"step\": \"${step_names[$i]}\", \"seconds\": ${step_seconds[$i]} }$comma"
+    done
+    echo '  ],'
+    echo "  \"total_seconds\": $((SECONDS - start))"
+    echo '}'
+  } > target/ci_timing.json
+}
+trap write_timing EXIT
 
-echo "==> rustfmt, check only"
-cargo fmt --all --check
+step_build()     { cargo build --release --offline; }
+step_test()      { cargo test -q --offline; }
+step_fmt()       { cargo fmt --all --check; }
+step_clippy()    { cargo clippy --offline --workspace --all-targets -- -D warnings; }
+step_ws_tests()  { cargo test -q --offline --workspace; }
+step_doc_tests() { cargo test -q --offline --workspace --doc; }
 
-echo "==> clippy on all workspace targets, warnings denied"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+step_golden_gate() {
+  # Tee'd so the cache-split step below can assert on what was reported.
+  cargo run -q --release --offline -p levioso-bench --bin all -- --smoke --check \
+    | tee target/ci_golden_gate.log
+}
 
-echo "==> full-workspace tests"
-cargo test -q --offline --workspace
+step_perfcheck() { cargo run -q --release --offline -p levioso-bench --bin perfcheck; }
 
-echo "==> doc tests"
-cargo test -q --offline --workspace --doc
+step_trace_smoke() {
+  cargo run -q --release --offline -p levioso-bench --bin levitrace -- \
+    --smoke --workload filter_scan --scheme levioso --out target/ci_trace.json --quiet
+}
 
-echo "==> golden gate: smoke-tier sweep vs results/golden/smoke/"
-cargo run -q --release --offline -p levioso-bench --bin all -- --smoke --check
+step_noninterference() {
+  cargo run -q --release --offline -p levioso-bench --bin table4_noninterference -- --smoke --quiet
+}
 
-echo "==> simulator throughput snapshot"
-cargo run -q --release --offline -p levioso-bench --bin perfcheck
+step_cache_split() {
+  local line
+  if ! line=$(grep -E '^sweep-cache: [0-9]+ hits, [0-9]+ misses' target/ci_golden_gate.log); then
+    echo "ERROR: golden gate did not report its sweep-cache hit/miss split" >&2
+    echo "       (expected a 'sweep-cache: N hits, M misses, ...' line in its output)" >&2
+    exit 1
+  fi
+  echo "    golden gate reported: $line"
+}
 
-echo "==> trace smoke: levitrace conservation + round-trip on one cell"
-cargo run -q --release --offline -p levioso-bench --bin levitrace -- \
-  --smoke --workload filter_scan --scheme levioso --out target/ci_trace.json --quiet
+if [[ "$mode" == "lint" || "$mode" == "all" ]]; then
+  run_step "rustfmt, check only" step_fmt
+  run_step "clippy on all workspace targets, warnings denied" step_clippy
+fi
 
-echo "==> noninterference gate: two-run fuzz of every scheme, smoke tier"
-cargo run -q --release --offline -p levioso-bench --bin table4_noninterference -- --smoke --quiet
+if [[ "$mode" == "test" || "$mode" == "all" ]]; then
+  run_step "tier-1: cargo build --release" step_build
+  run_step "tier-1: cargo test -q" step_test
+  run_step "full-workspace tests" step_ws_tests
+  run_step "doc tests" step_doc_tests
+  run_step "golden gate: smoke-tier sweep vs results/golden/smoke/" step_golden_gate
+  run_step "simulator throughput snapshot" step_perfcheck
+  run_step "trace smoke: levitrace conservation + round-trip on one cell" step_trace_smoke
+  run_step "noninterference gate: two-run fuzz of every scheme, smoke tier" step_noninterference
+  run_step "golden gate reported its cache hit/miss split" step_cache_split
+fi
 
-echo "==> OK: build, format, lints, tests, golden gate, throughput snapshot, trace smoke, and noninterference gate all green in $((SECONDS - start))s"
+echo "==> OK: ci.sh $mode green in $((SECONDS - start))s (per-step timing in target/ci_timing.json)"

@@ -8,6 +8,12 @@
 # The second run's snapshot is the one left on disk; the recorded
 # `baseline` object is preserved across runs (see the `all` driver).
 #
+# Both runs force --no-cache: a throughput measurement must simulate
+# every cell, never replay one from target/sweep-cache/ — a cache hit
+# contributes no busy time, so letting hits through would inflate the
+# cells-per-busy-second rate with free cells (perfcheck independently
+# rejects snapshots whose samples mix in cached cells).
+#
 # With --ab the second run instead attaches the no-op trace sink to every
 # cell (LEVIOSO_TRACE=null), turning the run-to-run delta into a
 # measurement of the enabled-hook overhead ceiling: the trace layer's
@@ -58,13 +64,13 @@ if (( ab )); then
   run_b_env=(env LEVIOSO_TRACE=null)
 fi
 
-echo "==> paper-tier sweep, $run_a_label (--threads $threads)"
-cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
+echo "==> paper-tier sweep, $run_a_label (--threads $threads, --no-cache)"
+cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --no-cache --threads "$threads" >/dev/null
 cargo run -q --release --offline -p levioso-bench --bin perfcheck
 r1=$(extract)
 
-echo "==> paper-tier sweep, $run_b_label (--threads $threads)"
-"${run_b_env[@]}" cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --threads "$threads" >/dev/null
+echo "==> paper-tier sweep, $run_b_label (--threads $threads, --no-cache)"
+"${run_b_env[@]}" cargo run -q --release --offline -p levioso-bench --bin all -- --paper --check --no-cache --threads "$threads" >/dev/null
 cargo run -q --release --offline -p levioso-bench --bin perfcheck
 r2=$(extract)
 
