@@ -6,6 +6,7 @@
 //! all --smoke --check       # CI: recompute shape figures, diff vs golden, exit 1 on drift
 //! all --paper --bless       # regenerate + record new paper-tier goldens
 //! all --threads 8           # size the sweep pool explicitly
+//! all --serve target/jobs   # warm sweep server: poll a job directory for levq requests
 //! ```
 //!
 //! All simulation cells fan out across the sweep pool; results are
@@ -21,6 +22,9 @@ use std::time::Instant;
 
 fn main() {
     let opts = util::Opts::parse(true, true);
+    if let Some(dir) = &opts.serve {
+        std::process::exit(levioso_bench::serve::serve(dir));
+    }
     let sweep = opts.sweep();
     let tier = opts.tier;
     let start = Instant::now();

@@ -1,0 +1,154 @@
+//! The thin client for the warm sweep server (`all --serve <jobdir>`).
+//!
+//! Writes one `levioso-sweep-job/1` request file into the job directory,
+//! waits for the matching response, prints the served report bytes to
+//! stdout (byte-identical to the cold CLI's report), and exits with the
+//! server's status — so `levq <dir> check --smoke` is a drop-in for
+//! `all --smoke --check` whenever a server is running.
+//!
+//! ```text
+//! levq target/jobs check --smoke --threads 8   # golden check via the warm server
+//! levq target/jobs table4 --smoke              # noninterference gate, same process
+//! levq target/jobs shutdown                    # stop the server
+//! ```
+//!
+//! One machine-greppable summary line goes to stderr:
+//! `levq: id=<id> status=<n> wall_seconds=<s> l1_hits=<n> l2_hits=<n> misses=<n>`.
+
+use levioso_support::jobdir::{self, Request, Response};
+use levioso_support::Json;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+struct Args {
+    jobdir: PathBuf,
+    selector: String,
+    tier: String,
+    threads: usize,
+    id: Option<String>,
+    timeout: Duration,
+}
+
+fn usage() -> String {
+    "usage: levq <jobdir> <selector> [--smoke|--paper] [--threads N] [--id ID] [--timeout-secs N]\n\
+     \n  <jobdir>            the directory a running `all --serve <jobdir>` polls\
+     \n  <selector>          check | table1_config | table2_security | table3_annotation |\
+     \n                      table4 | fig1_motivation..fig7_hint_budget | shutdown\
+     \n  --smoke / --paper   sweep tier (default: LEVIOSO_SCALE or paper)\
+     \n  --threads N         server-side worker threads for this request (default 1)\
+     \n  --id ID             request id (default: levq-<pid>; names the request/response files)\
+     \n  --timeout-secs N    give up waiting for the response after N seconds (default 600)"
+        .to_string()
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n{}", usage());
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tier = match std::env::var("LEVIOSO_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => "smoke".to_string(),
+        _ => "paper".to_string(),
+    };
+    let mut threads = 1usize;
+    let mut id = None;
+    let mut timeout = Duration::from_secs(600);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => tier = "smoke".to_string(),
+            "--paper" => tier = "paper".to_string(),
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => usage_error("--threads needs a positive integer"),
+            },
+            "--id" => match args.next() {
+                Some(v) if jobdir::valid_id(&v) => id = Some(v),
+                _ => usage_error("--id needs a filename-safe id (alphanumerics, `-`, `_`, `.`)"),
+            },
+            "--timeout-secs" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => timeout = Duration::from_secs(n),
+                _ => usage_error("--timeout-secs needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                exit(0);
+            }
+            other if other.starts_with('-') => usage_error(&format!("unknown argument `{other}`")),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        usage_error("expected exactly <jobdir> and <selector>");
+    }
+    let selector = positional.pop().expect("two positionals");
+    let jobdir = PathBuf::from(positional.pop().expect("two positionals"));
+    Args { jobdir, selector, tier, threads, id, timeout }
+}
+
+fn main() {
+    let args = parse_args();
+    let id = args.id.unwrap_or_else(|| format!("levq-{}", std::process::id()));
+    let request = Request {
+        id: id.clone(),
+        selector: args.selector,
+        tier: args.tier,
+        threads: args.threads,
+        // Refuse service from a stale server: the response must come from
+        // the same core revision this client was built against.
+        fingerprint: levioso_uarch::core_fingerprint(),
+    };
+    // A leftover response under our id (crashed earlier client) must not
+    // be mistaken for the answer to this request.
+    let resp_path = jobdir::response_path(&args.jobdir, &id);
+    let _ = std::fs::remove_file(&resp_path);
+    if let Err(e) = request.write(&args.jobdir) {
+        eprintln!("levq: cannot write request into {}: {e}", args.jobdir.display());
+        exit(3);
+    }
+    let deadline = Instant::now() + args.timeout;
+    let text = loop {
+        match std::fs::read_to_string(&resp_path) {
+            Ok(text) => break text,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {
+                // Withdraw the request so a late-starting server does not
+                // burn a sweep nobody is waiting for.
+                let _ = std::fs::remove_file(jobdir::request_path(&args.jobdir, &id));
+                eprintln!(
+                    "levq: no response for {id} within {}s — is `all --serve {}` running?",
+                    args.timeout.as_secs(),
+                    args.jobdir.display()
+                );
+                exit(3);
+            }
+        }
+    };
+    // The client consumes its response; the job directory stays clean.
+    let _ = std::fs::remove_file(&resp_path);
+    let response = Json::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| Response::from_json(&doc))
+        .unwrap_or_else(|e| {
+            eprintln!("levq: unparseable response {}: {e}", resp_path.display());
+            exit(3);
+        });
+    print!("{}", response.report);
+    if let Some(error) = &response.error {
+        eprintln!("levq: server error: {error}");
+    }
+    eprintln!(
+        "levq: id={id} status={} wall_seconds={:.3} l1_hits={} l2_hits={} misses={}",
+        response.status,
+        response.wall_seconds,
+        response.cache.l1_hits,
+        response.cache.l2_hits,
+        response.cache.misses,
+    );
+    exit(i32::try_from(response.status).unwrap_or(1));
+}

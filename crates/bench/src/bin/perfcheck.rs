@@ -6,12 +6,18 @@
 //! pipeline runs this right after the smoke golden gate, so a change that
 //! silently stops producing throughput numbers fails the build.
 //!
+//! Also validates `results/BENCH_serve_latency.json` when present (the
+//! warm sweep server's request-latency book, `levioso-serve-latency/1`) —
+//! a server run that stops recording latencies fails the build the same
+//! way a silent throughput regression would.
+//!
 //! ```text
-//! perfcheck            # validate + summarize results/BENCH_sim_throughput.json
+//! perfcheck            # validate + summarize results/BENCH_*.json
 //! ```
 #[path = "../util.rs"]
 mod util;
 
+use levioso_support::Json;
 use std::process::exit;
 
 fn main() {
@@ -78,6 +84,17 @@ fn main() {
     });
     let hits = cache_field("hits");
     let misses = cache_field("misses");
+    // Additive field: present (and bounded by hits) since the hot tier
+    // landed; absent in snapshots recorded before it.
+    let l1_hits = util::json_num_field(&cache, "l1_hits").unwrap_or(0.0);
+    if !(l1_hits.is_finite() && (0.0..=hits).contains(&l1_hits)) {
+        eprintln!(
+            "perfcheck: {}: `current.cache.l1_hits` ({l1_hits}) must be between 0 and hits \
+             ({hits:.0})",
+            path.display()
+        );
+        exit(1);
+    }
     // The throughput meter must only sample freshly computed cells: every
     // recorded cell corresponds to exactly one cache miss (hits return
     // stored stats and skip the meter). A snapshot where cells != misses
@@ -126,5 +143,73 @@ fn main() {
     println!(
         "PERF tier={tier} threads={threads:.0} cells={cells:.0} busy_seconds={busy:.3} \
          wall_seconds={wall:.3} kilocycles_per_busy_sec={kc:.3} cells_per_busy_sec={cps:.3}"
+    );
+    check_serve_latency();
+}
+
+/// Validates `results/BENCH_serve_latency.json` if a server wrote one.
+/// Absence is fine (not every pipeline runs serve mode); a present file
+/// must be well-formed, and every recorded latency finite.
+fn check_serve_latency() {
+    let path = util::results_dir().join("BENCH_serve_latency.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let fail = |reason: &str| -> ! {
+        eprintln!("perfcheck: {}: {reason}", path.display());
+        exit(1);
+    };
+    let Ok(doc) = Json::parse(&text) else { fail("not valid JSON") };
+    if doc.get("schema").and_then(Json::as_str) != Some("levioso-serve-latency/1") {
+        fail("missing or unknown schema field (expected levioso-serve-latency/1)");
+    }
+    // Either cold field may be null (no check request served yet), but a
+    // recorded value must be a positive finite duration.
+    let secs = |key: &str| -> Option<f64> {
+        match doc.get(key) {
+            Some(Json::Null) => None,
+            Some(v) => match v.as_f64() {
+                Some(s) if s.is_finite() && s > 0.0 => Some(s),
+                _ => fail(&format!("`{key}` must be null or a positive finite number")),
+            },
+            None => fail(&format!("missing field `{key}`")),
+        }
+    };
+    let cold = secs("cold_request_seconds");
+    let warm = secs("warm_request_seconds");
+    let Some(requests) = doc.get("requests").and_then(Json::as_arr) else {
+        fail("missing or non-array field `requests`")
+    };
+    if requests.is_empty() {
+        fail("a server wrote the latency book but recorded no requests");
+    }
+    for (i, req) in requests.iter().enumerate() {
+        let wall = req.get("wall_seconds").and_then(Json::as_f64);
+        if !wall.is_some_and(|w| w.is_finite() && w >= 0.0) {
+            fail(&format!("requests[{i}].wall_seconds missing or not finite"));
+        }
+        for key in ["l1_hits", "l2_hits", "misses"] {
+            let v = req.get("cache").and_then(|c| c.get(key)).and_then(Json::as_i64);
+            if v.is_none_or(|n| n < 0) {
+                fail(&format!("requests[{i}].cache.{key} missing or negative"));
+            }
+        }
+    }
+    match (cold, warm) {
+        (Some(c), Some(w)) => println!(
+            "serve latency: {} request(s); smoke-check cold {c:.3}s -> warm {w:.3}s ({:.1}% of cold)",
+            requests.len(),
+            100.0 * w / c
+        ),
+        (Some(c), None) => {
+            println!("serve latency: {} request(s); check cold {c:.3}s (no warm replay yet)", requests.len());
+        }
+        _ => println!("serve latency: {} request(s); no check request served yet", requests.len()),
+    }
+    println!(
+        "SERVE requests={} cold_request_seconds={} warm_request_seconds={}",
+        requests.len(),
+        cold.map_or("null".to_string(), |c| format!("{c:.3}")),
+        warm.map_or("null".to_string(), |w| format!("{w:.3}")),
     );
 }

@@ -37,8 +37,10 @@ use std::collections::HashMap;
 
 pub mod attrib;
 pub mod cellcache;
+pub mod cli;
 pub mod corerev;
 pub mod gate;
+pub mod serve;
 pub mod sweep;
 pub mod throughput;
 pub mod trace_export;

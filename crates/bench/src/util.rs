@@ -6,12 +6,22 @@
 
 use levioso_bench::{Sweep, Tier};
 use levioso_core::Scheme;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::exit;
 
+// The pieces that must be identical across every binary (shared error
+// messages, the results anchor, the JSON scrapers and the throughput
+// renderer) live once in the library; re-exported here so each binary's
+// `util::` call sites keep working.
+#[allow(unused_imports)]
+pub use levioso_bench::cli::{
+    json_bool_field, json_num_field, json_object_field, json_str_field, results_dir,
+    throughput_json,
+};
+
 /// Options every experiment binary understands. The `all` driver
-/// additionally accepts the golden-gate flags (`--check`/`--bless`);
-/// simulating binaries additionally accept `--attrib`.
+/// additionally accepts the golden-gate flags (`--check`/`--bless`) and
+/// `--serve`; simulating binaries additionally accept `--attrib`.
 #[derive(Debug, Clone)]
 pub struct Opts {
     /// Sweep tier (problem scale + sweep grids).
@@ -36,16 +46,19 @@ pub struct Opts {
     /// per-cell store *is* the checkpoint, so this just requires the cache
     /// to be on and reports how many cells are already banked.
     pub resume: bool,
+    /// Run as the warm sweep server, polling this job directory for
+    /// request files instead of executing one sweep (`all` only).
+    pub serve: Option<PathBuf>,
 }
 
 impl Opts {
-    /// Parses process arguments. `gate_flags` enables `--check`/`--bless`
-    /// (the `all` driver) and `attrib_flag` enables `--attrib` (binaries
-    /// that simulate); others reject them. Prints usage and exits 2 on
-    /// unknown or malformed arguments.
+    /// Parses process arguments. `gate_flags` enables `--check`/`--bless`/
+    /// `--serve` (the `all` driver) and `attrib_flag` enables `--attrib`
+    /// (binaries that simulate); others reject them. Prints usage and
+    /// exits 2 on unknown or malformed arguments.
     pub fn parse(gate_flags: bool, attrib_flag: bool) -> Opts {
         let mut opts = Opts {
-            tier: tier_from_env(),
+            tier: levioso_bench::cli::tier_from_env(),
             threads: None,
             check: false,
             bless: false,
@@ -53,6 +66,7 @@ impl Opts {
             attrib: false,
             no_cache: false,
             resume: false,
+            serve: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -65,6 +79,10 @@ impl Opts {
                 },
                 "--check" if gate_flags => opts.check = true,
                 "--bless" if gate_flags => opts.bless = true,
+                "--serve" if gate_flags => match args.next() {
+                    Some(dir) if !dir.starts_with('-') => opts.serve = Some(PathBuf::from(dir)),
+                    _ => usage_error(gate_flags, attrib_flag, "--serve needs a job directory"),
+                },
                 "--quiet" | "-q" => opts.quiet = true,
                 "--attrib" if attrib_flag => opts.attrib = true,
                 "--no-cache" => opts.no_cache = true,
@@ -81,23 +99,23 @@ impl Opts {
         if opts.check && opts.bless {
             usage_error(gate_flags, attrib_flag, "--check and --bless are mutually exclusive");
         }
-        if opts.no_cache && opts.resume {
+        if opts.serve.is_some() && (opts.check || opts.bless || opts.resume || opts.no_cache) {
             usage_error(
                 gate_flags,
                 attrib_flag,
-                "--resume needs the cell cache; it cannot be combined with --no-cache",
+                "--serve runs a daemon; per-run flags (--check/--bless/--resume/--no-cache) \
+                 belong in the submitted requests",
             );
+        }
+        if opts.no_cache && opts.resume {
+            usage_error(gate_flags, attrib_flag, levioso_bench::cli::RESUME_NO_CACHE_CONFLICT);
         }
         if opts.no_cache {
             levioso_bench::cellcache::configure(levioso_support::Cache::disabled());
             levioso_nisec::cellcache::configure(levioso_support::Cache::disabled());
         }
         if opts.resume && !levioso_bench::cellcache::enabled() {
-            usage_error(
-                gate_flags,
-                attrib_flag,
-                "--resume needs the cell cache, but LEVIOSO_SWEEP_CACHE=off disabled it",
-            );
+            usage_error(gate_flags, attrib_flag, levioso_bench::cli::RESUME_CACHE_DISABLED);
         }
         opts
     }
@@ -111,19 +129,11 @@ impl Opts {
     }
 }
 
-/// Tier selected by the `LEVIOSO_SCALE` environment variable
-/// (`smoke`/`paper`; default `paper`), overridable by `--smoke`/`--paper`.
-fn tier_from_env() -> Tier {
-    match std::env::var("LEVIOSO_SCALE").as_deref() {
-        Ok("smoke") | Ok("SMOKE") => Tier::Smoke,
-        _ => Tier::Paper,
-    }
-}
-
 fn usage(gate_flags: bool, attrib_flag: bool) -> String {
     let gate = if gate_flags {
         "\n  --check        compare against results/golden/<tier>/ and exit nonzero on drift\
-         \n  --bless        regenerate the tier's golden snapshots"
+         \n  --bless        regenerate the tier's golden snapshots\
+         \n  --serve DIR    run as the warm sweep server polling DIR for levq requests"
     } else {
         ""
     };
@@ -146,117 +156,6 @@ fn usage(gate_flags: bool, attrib_flag: bool) -> String {
 fn usage_error(gate_flags: bool, attrib_flag: bool, message: &str) -> ! {
     eprintln!("error: {message}\n{}", usage(gate_flags, attrib_flag));
     exit(2)
-}
-
-/// The repo-root `results/` directory (anchored at the crate manifest, so
-/// output lands in the repo regardless of working directory).
-pub fn results_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
-}
-
-/// Extracts the raw text of a `"key": { ... }` object field from a JSON
-/// document by balanced-brace scan. Sufficient for the flat numeric
-/// objects `BENCH_sim_throughput.json` stores (no `{`/`}` inside strings).
-pub fn json_object_field(doc: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\"");
-    let at = doc.find(&needle)?;
-    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
-    if !rest.starts_with('{') {
-        return None;
-    }
-    let mut depth = 0usize;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(rest[..=i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Extracts a `"key": "value"` string field (no escape handling — the
-/// throughput snapshot only stores identifier-like strings).
-pub fn json_str_field(doc: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\"");
-    let at = doc.find(&needle)?;
-    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-/// Extracts a `"key": true|false` field.
-pub fn json_bool_field(doc: &str, key: &str) -> Option<bool> {
-    let needle = format!("\"{key}\"");
-    let at = doc.find(&needle)?;
-    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
-    if rest.starts_with("true") {
-        Some(true)
-    } else if rest.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
-}
-
-/// Extracts a `"key": <number>` field.
-pub fn json_num_field(doc: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = doc.find(&needle)?;
-    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .char_indices()
-        .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-        .map_or(rest.len(), |(i, _)| i);
-    rest[..end].parse().ok()
-}
-
-/// Renders `results/BENCH_sim_throughput.json`: the current run's
-/// simulator-throughput snapshot (including the sweep-cache split — the
-/// meter only samples freshly computed cells, so `perfcheck` needs the
-/// hit/miss counts to judge the sample) plus the preserved `baseline`
-/// object (the pre-change reference recorded by `scripts/perf.sh`; `null`
-/// until one is recorded).
-pub fn throughput_json(
-    t: &levioso_bench::Throughput,
-    tier: Tier,
-    threads: usize,
-    wall_seconds: f64,
-    cache: &levioso_support::CacheReport,
-    cache_enabled: bool,
-    baseline: Option<&str>,
-) -> String {
-    let current = format!(
-        "{{\n    \"tier\": \"{}\",\n    \"threads\": {},\n    \"cells\": {},\n    \
-         \"sim_cycles\": {},\n    \"retired_instrs\": {},\n    \"busy_seconds\": {:.3},\n    \
-         \"wall_seconds\": {:.3},\n    \"cells_per_busy_sec\": {:.3},\n    \
-         \"kilocycles_per_busy_sec\": {:.3},\n    \"retired_per_busy_sec\": {:.3},\n    \
-         \"cache\": {{ \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"poisoned\": {} }}\n  }}",
-        tier.name(),
-        threads,
-        t.cells,
-        t.sim_cycles,
-        t.retired,
-        t.busy_seconds(),
-        wall_seconds,
-        t.cells_per_busy_sec(),
-        t.kilocycles_per_busy_sec(),
-        t.retired_per_busy_sec(),
-        cache_enabled,
-        cache.hits,
-        cache.misses,
-        cache.poisoned,
-    );
-    format!(
-        "{{\n  \"schema\": \"levioso-sim-throughput/2\",\n  \"current\": {},\n  \"baseline\": {}\n}}\n",
-        current,
-        baseline.unwrap_or("null"),
-    )
 }
 
 /// Prints a rendered report (unless `--quiet`) and, at paper tier,

@@ -1,0 +1,88 @@
+//! Pins the CLI contracts every experiment binary shares — most
+//! importantly that the `--no-cache`/`--resume` mutual exclusion prints
+//! the *one* message defined in `levioso_bench::cli`, from every binary
+//! (they all parse through the shared `util.rs`, so a drifted copy would
+//! mean someone forked the parser).
+
+use levioso_bench::cli::{RESUME_CACHE_DISABLED, RESUME_NO_CACHE_CONFLICT};
+use std::process::Command;
+
+/// Every binary that takes the shared sweep flags, including the nisec
+/// gate (`table4_noninterference`) and the driver (`all`).
+const BINARIES: &[&str] = &[
+    env!("CARGO_BIN_EXE_all"),
+    env!("CARGO_BIN_EXE_fig1_motivation"),
+    env!("CARGO_BIN_EXE_fig2_overhead"),
+    env!("CARGO_BIN_EXE_fig3_ablation"),
+    env!("CARGO_BIN_EXE_fig4_rob_sweep"),
+    env!("CARGO_BIN_EXE_fig5_mem_sweep"),
+    env!("CARGO_BIN_EXE_table1_config"),
+    env!("CARGO_BIN_EXE_table2_security"),
+    env!("CARGO_BIN_EXE_table3_annotation"),
+    env!("CARGO_BIN_EXE_table4_noninterference"),
+];
+
+fn short_name(bin: &str) -> &str {
+    std::path::Path::new(bin).file_name().and_then(|n| n.to_str()).unwrap_or(bin)
+}
+
+#[test]
+fn no_cache_resume_conflict_message_is_shared_verbatim() {
+    for bin in BINARIES {
+        let out = Command::new(bin)
+            .args(["--no-cache", "--resume"])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{}: conflicting flags must exit 2 (stderr: {stderr})",
+            short_name(bin)
+        );
+        assert!(
+            stderr.contains(RESUME_NO_CACHE_CONFLICT),
+            "{}: stderr does not carry the shared message {RESUME_NO_CACHE_CONFLICT:?}: {stderr}",
+            short_name(bin)
+        );
+    }
+}
+
+#[test]
+fn resume_with_env_disabled_cache_message_is_shared_verbatim() {
+    for bin in BINARIES {
+        let out = Command::new(bin)
+            .args(["--resume"])
+            .env("LEVIOSO_SWEEP_CACHE", "off")
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{}: must exit 2", short_name(bin));
+        assert!(
+            stderr.contains(RESUME_CACHE_DISABLED),
+            "{}: stderr does not carry the shared message {RESUME_CACHE_DISABLED:?}: {stderr}",
+            short_name(bin)
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_per_run_flags() {
+    for flags in [["--serve", "x", "--check"], ["--serve", "x", "--resume"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_all")).args(flags).output().expect("spawn all");
+        assert_eq!(out.status.code(), Some(2), "{flags:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--serve runs a daemon"), "{stderr}");
+    }
+}
+
+#[test]
+fn serve_flag_is_driver_only() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig2_overhead"))
+        .args(["--serve", "x"])
+        .output()
+        .expect("spawn fig2_overhead");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument `--serve`"), "{stderr}");
+}

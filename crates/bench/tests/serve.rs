@@ -1,0 +1,335 @@
+//! Serve-mode contracts.
+//!
+//! In-process: the serve loop's failure discipline — malformed request
+//! JSON, unknown selectors, fingerprint mismatches, and body/filename id
+//! disagreements produce *error response files* (never a crash), and
+//! requests older than the server are skipped without a response.
+//!
+//! End-to-end (spawned binaries): a served `all --smoke --check` report is
+//! byte-identical to the cold CLI run at `--threads 1` and `--threads 8`,
+//! the second served request answers entirely from the in-memory hot tier
+//! (zero disk reads, zero recomputes — proven by the response's
+//! `l1/l2/miss` split), and the server's `BENCH_serve_latency.json` /
+//! `BENCH_sim_throughput.json` snapshots pass `perfcheck`.
+
+use levioso_bench::serve::{Poll, Server, SHUTDOWN_SELECTOR};
+use levioso_support::jobdir::{self, Request, Response, ERROR_STATUS};
+use levioso_support::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("levioso-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn request(id: &str, selector: &str) -> Request {
+    Request {
+        id: id.to_string(),
+        selector: selector.to_string(),
+        tier: "smoke".to_string(),
+        threads: 1,
+        // Empty = accept any core revision; the mismatch test sets its own.
+        fingerprint: String::new(),
+    }
+}
+
+fn read_response(dir: &Path, id: &str) -> Response {
+    let path = jobdir::response_path(dir, id);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no response file {}: {e}", path.display()));
+    Response::from_json(&Json::parse(&text).expect("response is JSON")).expect("response parses")
+}
+
+/// Writes a request *after* the server's start so it reads as fresh.
+fn submit(server_born: &Server, dir: &Path, req: &Request) {
+    let _ = server_born; // the ordering (server first) is the point
+    std::thread::sleep(Duration::from_millis(20));
+    req.write(dir).expect("write request");
+}
+
+#[test]
+fn malformed_request_json_yields_an_error_response_not_a_crash() {
+    let dir = tmpdir("malformed");
+    let mut server = Server::new();
+    std::thread::sleep(Duration::from_millis(20));
+    std::fs::write(dir.join("bad-req.req.json"), "{ this is not json").unwrap();
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    assert!(!jobdir::request_path(&dir, "bad-req").exists(), "request file must be consumed");
+    let resp = read_response(&dir, "bad-req");
+    assert!(!resp.ok);
+    assert_eq!(resp.status, ERROR_STATUS);
+    assert!(resp.report.is_empty());
+    let error = resp.error.expect("error reason");
+    assert!(error.contains("malformed request JSON"), "{error}");
+}
+
+#[test]
+fn unknown_selector_yields_an_error_response() {
+    let dir = tmpdir("unknown-selector");
+    let mut server = Server::new();
+    submit(&server, &dir, &request("req-fig99", "fig99"));
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    let resp = read_response(&dir, "req-fig99");
+    assert!(!resp.ok);
+    assert_eq!(resp.status, ERROR_STATUS);
+    let error = resp.error.expect("error reason");
+    assert!(error.contains("unknown selector \"fig99\""), "{error}");
+    assert!(error.contains("\"check\""), "the error should list valid selectors: {error}");
+}
+
+#[test]
+fn unknown_tier_yields_an_error_response() {
+    let dir = tmpdir("unknown-tier");
+    let mut server = Server::new();
+    let mut req = request("req-turbo", "check");
+    req.tier = "turbo".to_string();
+    submit(&server, &dir, &req);
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    let resp = read_response(&dir, "req-turbo");
+    assert!(!resp.ok);
+    let error = resp.error.expect("error reason");
+    assert!(error.contains("unknown tier \"turbo\""), "{error}");
+}
+
+#[test]
+fn stale_request_is_skipped_with_no_response() {
+    let dir = tmpdir("stale");
+    request("old-req", "check").write(&dir).expect("write request");
+    std::thread::sleep(Duration::from_millis(30));
+    // The server is born *after* the request file: its client is presumed
+    // gone, so the request is consumed but never answered.
+    let mut server = Server::new();
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    assert!(!jobdir::request_path(&dir, "old-req").exists(), "stale request must be consumed");
+    assert!(!jobdir::response_path(&dir, "old-req").exists(), "a stale request gets no response");
+    assert_eq!(server.poll_once(&dir), Poll::Idle);
+}
+
+#[test]
+fn body_id_mismatching_filename_is_refused() {
+    let dir = tmpdir("id-mismatch");
+    let mut server = Server::new();
+    std::thread::sleep(Duration::from_millis(20));
+    let req = request("alpha", "check");
+    jobdir::write_atomic(&dir, "beta.req.json", &req.to_json()).expect("write mismatched file");
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    let resp = read_response(&dir, "beta");
+    assert!(!resp.ok);
+    let error = resp.error.expect("error reason");
+    assert!(error.contains("does not match its filename id"), "{error}");
+}
+
+#[test]
+fn core_fingerprint_mismatch_is_refused() {
+    let dir = tmpdir("fingerprint");
+    let mut server = Server::new();
+    let mut req = request("req-old-core", "check");
+    req.fingerprint = "bogus-core-rev".to_string();
+    submit(&server, &dir, &req);
+    assert_eq!(server.poll_once(&dir), Poll::Handled(1));
+    let resp = read_response(&dir, "req-old-core");
+    assert!(!resp.ok);
+    let error = resp.error.expect("error reason");
+    assert!(error.contains("core fingerprint mismatch"), "{error}");
+    assert!(error.contains("restart the server"), "{error}");
+}
+
+#[test]
+fn shutdown_selector_stops_the_loop_and_is_acknowledged() {
+    let dir = tmpdir("shutdown");
+    let mut server = Server::new();
+    submit(&server, &dir, &request("req-bye", SHUTDOWN_SELECTOR));
+    assert_eq!(server.poll_once(&dir), Poll::Shutdown);
+    let resp = read_response(&dir, "req-bye");
+    assert!(resp.ok);
+    assert_eq!(resp.status, 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: spawned server + levq client.
+// ---------------------------------------------------------------------------
+
+/// Kills the spawned server if the test panics before shutting it down.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn levq(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_levq"))
+        .arg(dir)
+        .args(args)
+        .args(["--timeout-secs", "120"])
+        .output()
+        .expect("spawn levq")
+}
+
+/// Extracts `(l1_hits, l2_hits, misses)` from levq's greppable stderr line.
+fn levq_split(out: &Output) -> (u64, u64, u64) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("levq: id="))
+        .unwrap_or_else(|| panic!("no levq summary line in stderr: {stderr}"));
+    let field = |key: &str| -> u64 {
+        let prefix = format!("{key}=");
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(prefix.as_str()))
+            .unwrap_or_else(|| panic!("no {key} in {line}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("bad {key} in {line}: {e}"))
+    };
+    (field("l1_hits"), field("l2_hits"), field("misses"))
+}
+
+#[test]
+fn served_smoke_check_is_byte_identical_to_the_cold_cli_and_warms_the_memory_tier() {
+    let base = tmpdir("e2e");
+    let jobs = base.join("jobs");
+    let results = base.join("results");
+    let server = Command::new(env!("CARGO_BIN_EXE_all"))
+        .args(["--serve", jobs.to_str().unwrap()])
+        .env("LEVIOSO_SWEEP_CACHE_DIR", base.join("cache"))
+        .env("LEVIOSO_RESULTS_DIR", &results)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn all --serve");
+    let mut server = KillOnDrop(server);
+    // The server creates the job directory before it starts polling; a
+    // request written before the server's birth would read as stale.
+    let ready = Instant::now();
+    while !jobs.exists() {
+        assert!(ready.elapsed() < Duration::from_secs(30), "server never created the job dir");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Request 1: the cold smoke check at 1 thread. Fills both cache tiers.
+    let cold = levq(&jobs, &["check", "--smoke", "--threads", "1", "--id", "req1-cold"]);
+    assert!(
+        cold.status.success(),
+        "cold served check failed: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let (_, _, cold_misses) = levq_split(&cold);
+    assert!(cold_misses > 0, "a cold server must compute fresh cells");
+    assert!(!cold.stdout.is_empty(), "the check report must not be empty");
+
+    // Request 2: same check at 8 threads. Byte-identical report, answered
+    // entirely from the in-memory tier: zero disk reads, zero recomputes.
+    let warm = levq(&jobs, &["check", "--smoke", "--threads", "8", "--id", "req2-warm"]);
+    assert!(
+        warm.status.success(),
+        "warm served check failed: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "served reports must be byte-identical across thread counts"
+    );
+    let (warm_l1, warm_l2, warm_misses) = levq_split(&warm);
+    assert!(warm_l1 > 0, "the warm request must hit the memory tier");
+    assert_eq!(warm_l2, 0, "a warm request must not read the disk cache");
+    assert_eq!(warm_misses, 0, "a warm request must not recompute cells");
+
+    // Request 3: a table selector, pinned against the library render the
+    // cold `table1_config` binary prints (render + trailing newline).
+    let table = levq(&jobs, &["table1_config", "--smoke", "--id", "req3-table"]);
+    assert!(table.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&table.stdout),
+        format!("{}\n", levioso_bench::config_table().render())
+    );
+
+    // Request 4: the noninterference gate from the same process. Its
+    // cells live in the *nisec* cache, which never feeds the busy-time
+    // meter — the throughput snapshot's cells == misses invariant below
+    // must survive this request (it regressed once).
+    let t4 = levq(&jobs, &["table4", "--smoke", "--id", "req4-nisec"]);
+    assert!(t4.status.success(), "{}", String::from_utf8_lossy(&t4.stderr));
+    let (_, _, t4_misses) = levq_split(&t4);
+    assert!(t4_misses > 0, "a cold nisec campaign must compute fresh cells");
+
+    // The cold CLI at 8 threads, against its own fresh cache: its stdout
+    // begins with exactly the bytes the server served.
+    let cli = Command::new(env!("CARGO_BIN_EXE_all"))
+        .args(["--smoke", "--check", "--threads", "8"])
+        .env("LEVIOSO_SWEEP_CACHE_DIR", base.join("cache-cli"))
+        .env("LEVIOSO_RESULTS_DIR", base.join("results-cli"))
+        .output()
+        .expect("spawn cold all --smoke --check");
+    assert!(
+        cli.status.success(),
+        "cold CLI check failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    assert!(
+        cli.stdout.starts_with(&cold.stdout),
+        "served report must be byte-identical to the cold CLI's report prefix"
+    );
+
+    // The latency book: schema, a cold and a warm check wall-clock, one
+    // entry per executed request.
+    let latency =
+        std::fs::read_to_string(results.join("BENCH_serve_latency.json")).expect("latency book");
+    let doc = Json::parse(&latency).expect("latency book is JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("levioso-serve-latency/1"));
+    let cold_s = doc.get("cold_request_seconds").and_then(Json::as_f64).expect("cold seconds");
+    let warm_s = doc.get("warm_request_seconds").and_then(Json::as_f64).expect("warm seconds");
+    assert!(cold_s > 0.0 && warm_s > 0.0);
+    let entries = doc.get("requests").and_then(Json::as_arr).expect("requests array");
+    assert_eq!(entries.len(), 4, "four executed requests in the book");
+
+    // The throughput snapshot keeps perfcheck's invariants across the
+    // whole serve session: busy samples only from fresh cells, and the
+    // cumulative split records the memory-tier hits.
+    let tp = std::fs::read_to_string(results.join("BENCH_sim_throughput.json"))
+        .expect("throughput snapshot");
+    let tp = Json::parse(&tp).expect("throughput is JSON");
+    let current = tp.get("current").expect("current object");
+    let cache = current.get("cache").expect("cache object");
+    assert_eq!(
+        current.get("cells").and_then(Json::as_f64),
+        cache.get("misses").and_then(Json::as_f64),
+        "every throughput cell corresponds to exactly one cumulative miss"
+    );
+    assert!(
+        cache.get("l1_hits").and_then(Json::as_i64).expect("l1_hits") > 0,
+        "the cumulative split must record the memory-tier hits"
+    );
+
+    // perfcheck validates both results files end-to-end.
+    let pc = Command::new(env!("CARGO_BIN_EXE_perfcheck"))
+        .env("LEVIOSO_RESULTS_DIR", &results)
+        .output()
+        .expect("spawn perfcheck");
+    assert!(
+        pc.status.success(),
+        "perfcheck rejected the serve results: {}",
+        String::from_utf8_lossy(&pc.stderr)
+    );
+    let pc_stdout = String::from_utf8_lossy(&pc.stdout);
+    assert!(pc_stdout.contains("SERVE requests=4"), "{pc_stdout}");
+
+    // Clean shutdown via the protocol; the server exits 0.
+    let bye = levq(&jobs, &["shutdown", "--id", "req5-bye"]);
+    assert!(bye.status.success(), "{}", String::from_utf8_lossy(&bye.stderr));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        if let Some(status) = server.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after shutdown");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(code.success(), "server exited nonzero: {code:?}");
+}

@@ -33,9 +33,10 @@
 //!   byte-identical by construction.
 
 use crate::json::Json;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Envelope schema tag; bump if the on-disk layout changes.
 const SCHEMA: &str = "levioso-sweep-cell/1";
@@ -72,8 +73,12 @@ pub fn stable_hash_hex(bytes: &[u8]) -> String {
 /// Point-in-time snapshot of a cache's counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheReport {
-    /// Lookups served from disk.
+    /// Lookups served from any tier (disk, plus the in-memory hot tier
+    /// when one is layered above — see [`crate::memcache`]).
     pub hits: u64,
+    /// Subset of `hits` served from the in-memory hot tier without any
+    /// filesystem I/O. Always zero for a plain on-disk [`Cache`].
+    pub l1_hits: u64,
     /// Lookups that found nothing valid (cold, invalidated, collided).
     pub misses: u64,
     /// Subset of misses where an envelope existed but failed its
@@ -93,12 +98,20 @@ impl CacheReport {
     }
 
     /// One-line human summary: the hit/miss split CI logs and asserts on.
+    /// The hot-tier share appears only when one served lookups, so plain
+    /// disk-cache runs keep their historical summary line byte-for-byte.
     pub fn summary(&self, fingerprint: &str) -> String {
+        let hot = if self.l1_hits > 0 {
+            format!("{} from hot tier, ", self.l1_hits)
+        } else {
+            String::new()
+        };
         format!(
-            "sweep-cache: {} hits, {} misses, {} poisoned ({} lookups, fingerprint {})",
+            "sweep-cache: {} hits, {} misses, {} poisoned ({}{} lookups, fingerprint {})",
             self.hits,
             self.misses,
             self.poisoned,
+            hot,
             self.lookups(),
             fingerprint
         )
@@ -124,6 +137,10 @@ pub struct Cache {
     fingerprint: String,
     enabled: bool,
     counters: Arc<Counters>,
+    /// Lazily built filename → busy-nanos index over every *sibling*
+    /// fingerprint directory, shared by clones. Built at most once per
+    /// logical cache; see [`Cache::sibling_index`].
+    sibling_costs: Arc<OnceLock<HashMap<String, u64>>>,
 }
 
 impl Cache {
@@ -134,6 +151,7 @@ impl Cache {
             fingerprint: fingerprint.into(),
             enabled: true,
             counters: Arc::default(),
+            sibling_costs: Arc::new(OnceLock::new()),
         }
     }
 
@@ -145,6 +163,7 @@ impl Cache {
             fingerprint: String::from("disabled"),
             enabled: false,
             counters: Arc::default(),
+            sibling_costs: Arc::new(OnceLock::new()),
         }
     }
 
@@ -300,7 +319,10 @@ impl Cache {
     /// same key (cells keep their filename across fingerprints, so a prior
     /// revision's measured cost still ranks the cell for scheduling).
     ///
-    /// Advisory only: costs order work, they never touch results.
+    /// Advisory only: costs order work, they never touch results. The
+    /// sibling scan runs **once per process** (per logical cache): the
+    /// first cross-fingerprint estimate walks every sibling directory into
+    /// an in-memory index, and every later estimate is a map probe.
     pub fn estimate_cost(&self, input: &str) -> Option<u64> {
         if !self.enabled {
             return None;
@@ -309,20 +331,48 @@ impl Cache {
         if let Some(cost) = read_cost(&self.dir().join(&file)) {
             return Some(cost);
         }
-        // Sibling fingerprints, newest-looking first (sorted descending —
-        // deterministic, and exact order is irrelevant: any measured cost
-        // beats none).
-        let mut siblings: Vec<PathBuf> = std::fs::read_dir(&self.root)
-            .ok()?
-            .flatten()
-            .map(|e| e.path())
-            .filter(|p| {
-                p.is_dir()
-                    && p.file_name().and_then(|n| n.to_str()) != Some(self.fingerprint.as_str())
-            })
-            .collect();
-        siblings.sort();
-        siblings.iter().rev().find_map(|dir| read_cost(&dir.join(&file)))
+        self.sibling_index().get(&file).copied()
+    }
+
+    /// The filename → cost index over sibling fingerprint directories,
+    /// built on first use. Siblings are walked newest-looking first
+    /// (sorted descending) with first-wins per filename, matching the
+    /// pre-index scan order — deterministic, and exact order is irrelevant:
+    /// any measured cost beats none. A fingerprint directory created
+    /// *after* the index is built is invisible until the next process;
+    /// acceptable because costs are advisory.
+    fn sibling_index(&self) -> &HashMap<String, u64> {
+        self.sibling_costs.get_or_init(|| {
+            let mut siblings: Vec<PathBuf> = std::fs::read_dir(&self.root)
+                .into_iter()
+                .flatten()
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.is_dir()
+                        && p.file_name().and_then(|n| n.to_str()) != Some(self.fingerprint.as_str())
+                })
+                .collect();
+            siblings.sort();
+            let mut index = HashMap::new();
+            for dir in siblings.iter().rev() {
+                let Ok(entries) = std::fs::read_dir(dir) else { continue };
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_none_or(|x| x != "json") {
+                        continue;
+                    }
+                    let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                    if index.contains_key(name) {
+                        continue; // an earlier (newer-looking) sibling wins
+                    }
+                    if let Some(cost) = read_cost(&path) {
+                        index.insert(name.to_string(), cost);
+                    }
+                }
+            }
+            index
+        })
     }
 
     /// Number of cells currently persisted under this fingerprint (the
@@ -345,6 +395,7 @@ impl Cache {
         miss_labels.sort();
         CacheReport {
             hits: self.counters.hits.load(Ordering::Relaxed),
+            l1_hits: 0,
             misses: self.counters.misses.load(Ordering::Relaxed),
             poisoned: self.counters.poisoned.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
@@ -509,10 +560,57 @@ mod tests {
 
     #[test]
     fn summary_line_has_the_split() {
-        let report =
-            CacheReport { hits: 300, misses: 16, poisoned: 1, stores: 16, miss_labels: vec![] };
+        let report = CacheReport {
+            hits: 300,
+            l1_hits: 0,
+            misses: 16,
+            poisoned: 1,
+            stores: 16,
+            miss_labels: vec![],
+        };
         let line = report.summary("core-v1");
         assert!(line.starts_with("sweep-cache: 300 hits, 16 misses, 1 poisoned"), "{line}");
         assert!(line.contains("core-v1"), "{line}");
+        assert!(!line.contains("hot tier"), "no hot-tier share without L1 hits: {line}");
+        let warm = CacheReport { l1_hits: 250, ..report };
+        let line = warm.summary("core-v1");
+        assert!(line.contains("250 from hot tier"), "{line}");
+        assert!(line.contains("316 lookups"), "{line}");
+    }
+
+    #[test]
+    fn sibling_cost_index_is_built_once() {
+        let root = tmpdir("sibling-index");
+        let v1 = Cache::new(&root, "v1");
+        v1.store("a", "input-a", &result_doc(1), 111);
+        v1.store("b", "input-b", &result_doc(2), 222);
+        let v2 = Cache::new(&root, "v2");
+        // First cross-fingerprint estimate builds the index...
+        assert_eq!(v2.estimate_cost("input-a"), Some(111));
+        // ...after which the sibling directory is never re-walked: delete
+        // it and the index keeps serving.
+        std::fs::remove_dir_all(root.join("v1")).unwrap();
+        assert_eq!(v2.estimate_cost("input-b"), Some(222));
+        assert_eq!(v2.estimate_cost("never-stored"), None);
+        // Clones share the built index.
+        assert_eq!(v2.clone().estimate_cost("input-a"), Some(111));
+    }
+
+    #[test]
+    fn sibling_cost_index_prefers_newest_looking_fingerprint() {
+        let root = tmpdir("sibling-order");
+        Cache::new(&root, "v1").store("a", "input-a", &result_doc(1), 100);
+        Cache::new(&root, "v3").store("a", "input-a", &result_doc(1), 300);
+        let v2 = Cache::new(&root, "v2");
+        assert_eq!(v2.estimate_cost("input-a"), Some(300), "descending sort: v3 beats v1");
+    }
+
+    #[test]
+    fn own_fingerprint_cost_beats_the_sibling_index() {
+        let root = tmpdir("own-cost");
+        Cache::new(&root, "v1").store("a", "input-a", &result_doc(1), 100);
+        let v2 = Cache::new(&root, "v2");
+        v2.store("a", "input-a", &result_doc(1), 900);
+        assert_eq!(v2.estimate_cost("input-a"), Some(900));
     }
 }

@@ -1,0 +1,438 @@
+//! The job-directory protocol between the warm sweep server and clients.
+//!
+//! `all --serve <jobdir>` polls a directory for request files; `levq`
+//! (and anything else that can write JSON) drops them in and waits for
+//! the matching response. The filesystem *is* the protocol — no sockets,
+//! so it composes with CI sandboxes and plain shell:
+//!
+//! * a request is `<id>.req.json`, a response `<id>.resp.json`, both
+//!   tagged `levioso-sweep-job/1`;
+//! * both sides write **atomically** (unique temp file + `rename`, the
+//!   same torn-write discipline as [`crate::cache`]), so a poller never
+//!   observes a half-written document — a file that exists is complete;
+//! * request ids are restricted to a filename-safe alphabet
+//!   ([`valid_id`]) so an id can never escape the job directory;
+//! * malformed request *content* is the server's problem (it answers
+//!   with an error response keyed by the filename's id); malformed
+//!   request *filenames* are skipped.
+//!
+//! This module owns the schema: typed [`Request`]/[`Response`] structs,
+//! their exact JSON round-trip, and the directory conventions. The
+//! server loop itself lives in `levioso-bench` (it needs the figure
+//! runners); keeping the protocol here lets `levq`, the server, and
+//! tests share one parser.
+
+use crate::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Protocol schema tag carried by every request and response; bump if
+/// the layout changes.
+pub const SCHEMA: &str = "levioso-sweep-job/1";
+
+/// Filename suffix of request files.
+pub const REQ_SUFFIX: &str = ".req.json";
+
+/// Filename suffix of response files.
+pub const RESP_SUFFIX: &str = ".resp.json";
+
+/// Whether `id` is safe to embed in a job-directory filename: nonempty,
+/// ASCII alphanumerics plus `-` `_` `.`, and not starting with a dot
+/// (dot-prefixed names are reserved for temp files).
+pub fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && !id.starts_with('.')
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// Path of the request file for `id` inside `dir`.
+pub fn request_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}{REQ_SUFFIX}"))
+}
+
+/// Path of the response file for `id` inside `dir`.
+pub fn response_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}{RESP_SUFFIX}"))
+}
+
+/// The id encoded in a request filename, if the name has the request
+/// suffix and a [`valid_id`] stem.
+pub fn request_id(path: &Path) -> Option<String> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(REQ_SUFFIX)?;
+    valid_id(stem).then(|| stem.to_string())
+}
+
+/// Request files currently pending in `dir`, sorted by filename for a
+/// deterministic service order. Unreadable directories read as empty
+/// (the server keeps polling rather than dying on a transient error).
+pub fn pending_requests(dir: &Path) -> Vec<PathBuf> {
+    let mut reqs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| request_id(p).is_some())
+        .collect();
+    reqs.sort();
+    reqs
+}
+
+/// Atomically writes `doc` to `dir/filename` via a unique temp file +
+/// `rename`, creating `dir` if needed.
+pub fn write_atomic(dir: &Path, filename: &str, doc: &Json) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    let tmp =
+        dir.join(format!(".tmp-{}-{:x}", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed)));
+    std::fs::write(&tmp, doc.emit_pretty())?;
+    std::fs::rename(&tmp, dir.join(filename)).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// One job: run `selector` (a figure/table/meta selector the server
+/// interprets, e.g. `check` or `table4`) at `tier` with `threads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id; names the request/response files. Must satisfy
+    /// [`valid_id`].
+    pub id: String,
+    /// What to run: the server's dispatch key.
+    pub selector: String,
+    /// Sweep tier (`smoke`/`paper`).
+    pub tier: String,
+    /// Worker threads for the sweep pool.
+    pub threads: usize,
+    /// The client's expected sim-core fingerprint; empty to accept any.
+    /// The server refuses a mismatch (its caches and goldens are bound
+    /// to its own core revision).
+    pub fingerprint: String,
+}
+
+impl Request {
+    /// Serializes to the on-disk request document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("kind", Json::str("request")),
+            ("id", Json::str(&self.id)),
+            ("selector", Json::str(&self.selector)),
+            ("tier", Json::str(&self.tier)),
+            ("threads", Json::I64(self.threads.min(i64::MAX as usize) as i64)),
+            ("fingerprint", Json::str(&self.fingerprint)),
+        ])
+    }
+
+    /// Parses a request document, with a human reason on failure.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let s = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        };
+        let schema = s("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        if s("kind")? != "request" {
+            return Err("kind is not \"request\"".to_string());
+        }
+        let id = s("id")?;
+        if !valid_id(&id) {
+            return Err(format!("invalid id {id:?}"));
+        }
+        let threads = doc
+            .get("threads")
+            .and_then(Json::as_i64)
+            .and_then(|t| usize::try_from(t).ok())
+            .filter(|&t| t >= 1)
+            .ok_or("threads must be an integer >= 1")?;
+        Ok(Request {
+            id,
+            selector: s("selector")?,
+            tier: s("tier")?,
+            threads,
+            fingerprint: s("fingerprint")?,
+        })
+    }
+
+    /// Atomically writes this request into `dir` as `<id>.req.json`.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        write_atomic(dir, &format!("{}{REQ_SUFFIX}", self.id), &self.to_json())
+    }
+}
+
+/// The cache-tier split a served request observed: how many cell
+/// lookups were answered from memory (L1), from disk (L2), and not at
+/// all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSplit {
+    /// Lookups served by the in-memory hot tier (zero filesystem I/O).
+    pub l1_hits: u64,
+    /// Lookups served by the on-disk cache.
+    pub l2_hits: u64,
+    /// Lookups that required a fresh simulation.
+    pub misses: u64,
+}
+
+impl CacheSplit {
+    /// Serializes to the embedded `cache` object.
+    pub fn to_json(&self) -> Json {
+        fn n(v: u64) -> Json {
+            Json::I64(v.min(i64::MAX as u64) as i64)
+        }
+        Json::obj([
+            ("l1_hits", n(self.l1_hits)),
+            ("l2_hits", n(self.l2_hits)),
+            ("misses", n(self.misses)),
+        ])
+    }
+
+    /// Parses the embedded `cache` object.
+    pub fn from_json(doc: &Json) -> Result<CacheSplit, String> {
+        let n = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("missing or invalid cache field {key:?}"))
+        };
+        Ok(CacheSplit { l1_hits: n("l1_hits")?, l2_hits: n("l2_hits")?, misses: n("misses")? })
+    }
+}
+
+/// Exit status carried by error responses (mirrors the experiment
+/// binaries' usage-error exit code).
+pub const ERROR_STATUS: i64 = 2;
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echoes the request id.
+    pub id: String,
+    /// Whether the request executed. An error response (unparseable
+    /// request, unknown selector, fingerprint mismatch) has `report`
+    /// empty and `error` set. A request that executed but *failed its
+    /// gate* (golden drift, leak) is `ok` with a nonzero `status`.
+    pub ok: bool,
+    /// The exit status of the equivalent cold CLI invocation; what the
+    /// client exits with.
+    pub status: i64,
+    /// Failure reason when `!ok`.
+    pub error: Option<String>,
+    /// The exact bytes the equivalent cold CLI run prints (byte-identity
+    /// is the served-mode correctness bar).
+    pub report: String,
+    /// Wall-clock seconds the server spent executing this request.
+    pub wall_seconds: f64,
+    /// The cell-cache tier split observed while serving it.
+    pub cache: CacheSplit,
+}
+
+impl Response {
+    /// A response whose request executed; `status` is the equivalent cold
+    /// CLI invocation's exit code.
+    pub fn ok(
+        id: &str,
+        status: i64,
+        report: String,
+        wall_seconds: f64,
+        cache: CacheSplit,
+    ) -> Response {
+        Response { id: id.to_string(), ok: true, status, error: None, report, wall_seconds, cache }
+    }
+
+    /// An error response (empty report, zero split, [`ERROR_STATUS`]).
+    pub fn err(id: &str, error: impl Into<String>, wall_seconds: f64) -> Response {
+        Response {
+            id: id.to_string(),
+            ok: false,
+            status: ERROR_STATUS,
+            error: Some(error.into()),
+            report: String::new(),
+            wall_seconds,
+            cache: CacheSplit::default(),
+        }
+    }
+
+    /// Serializes to the on-disk response document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("kind", Json::str("response")),
+            ("id", Json::str(&self.id)),
+            ("ok", Json::Bool(self.ok)),
+            ("status", Json::I64(self.status)),
+            ("error", self.error.as_deref().map_or(Json::Null, Json::str)),
+            ("report", Json::str(&self.report)),
+            ("wall_seconds", Json::F64(self.wall_seconds)),
+            ("cache", self.cache.to_json()),
+        ])
+    }
+
+    /// Parses a response document, with a human reason on failure.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        let s = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        };
+        let schema = s("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        if s("kind")? != "response" {
+            return Err("kind is not \"response\"".to_string());
+        }
+        let ok = doc.get("ok").and_then(Json::as_bool).ok_or("missing or non-bool field \"ok\"")?;
+        let status = doc
+            .get("status")
+            .and_then(Json::as_i64)
+            .ok_or("missing or non-integer field \"status\"")?;
+        let error = match doc.get("error") {
+            None | Some(Json::Null) => None,
+            Some(e) => Some(e.as_str().ok_or("non-string field \"error\"")?.to_string()),
+        };
+        let wall_seconds = doc
+            .get("wall_seconds")
+            .and_then(Json::as_f64)
+            .filter(|w| w.is_finite() && *w >= 0.0)
+            .ok_or("wall_seconds must be a finite non-negative number")?;
+        let cache = CacheSplit::from_json(doc.get("cache").ok_or("missing field \"cache\"")?)?;
+        Ok(Response { id: s("id")?, ok, status, error, report: s("report")?, wall_seconds, cache })
+    }
+
+    /// Atomically writes this response into `dir` as `<id>.resp.json`.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        write_atomic(dir, &format!("{}{RESP_SUFFIX}", self.id), &self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("levioso-jobdir-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp job dir");
+        dir
+    }
+
+    fn request(id: &str) -> Request {
+        Request {
+            id: id.to_string(),
+            selector: "check".to_string(),
+            tier: "smoke".to_string(),
+            threads: 8,
+            fingerprint: "core-v1".to_string(),
+        }
+    }
+
+    #[test]
+    fn id_validation_rejects_path_escapes() {
+        assert!(valid_id("req-1"));
+        assert!(valid_id("ci_smoke.2"));
+        assert!(!valid_id(""));
+        assert!(!valid_id(".hidden"));
+        assert!(!valid_id("../escape"));
+        assert!(!valid_id("a/b"));
+        assert!(!valid_id("sp ace"));
+    }
+
+    #[test]
+    fn request_round_trips_exactly() {
+        let req = request("req-1");
+        assert_eq!(Request::from_json(&req.to_json()), Ok(req));
+    }
+
+    #[test]
+    fn request_parse_failures_have_reasons() {
+        let mut doc = request("req-1").to_json();
+        assert!(Request::from_json(&Json::Null).unwrap_err().contains("schema"));
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "threads");
+        }
+        assert!(Request::from_json(&doc).unwrap_err().contains("threads"));
+        let bad_schema = Json::obj([("schema", Json::str("other/9"))]);
+        assert!(Request::from_json(&bad_schema).unwrap_err().contains("other/9"));
+        let mut zero_threads = request("req-1").to_json();
+        if let Json::Obj(pairs) = &mut zero_threads {
+            for (k, v) in pairs.iter_mut() {
+                if k == "threads" {
+                    *v = Json::I64(0);
+                }
+            }
+        }
+        assert!(Request::from_json(&zero_threads).unwrap_err().contains("threads"));
+        let mut bad_id = request("req-1").to_json();
+        if let Json::Obj(pairs) = &mut bad_id {
+            for (k, v) in pairs.iter_mut() {
+                if k == "id" {
+                    *v = Json::str("../x");
+                }
+            }
+        }
+        assert!(Request::from_json(&bad_id).unwrap_err().contains("invalid id"));
+    }
+
+    #[test]
+    fn response_round_trips_exactly() {
+        let ok = Response::ok(
+            "req-1",
+            0,
+            "golden check OK: 271 cells\n".to_string(),
+            1.25,
+            CacheSplit { l1_hits: 100, l2_hits: 8, misses: 1 },
+        );
+        assert_eq!(Response::from_json(&ok.to_json()), Ok(ok));
+        let drifted =
+            Response::ok("req-3", 1, "DRIFT ...\n".to_string(), 0.5, CacheSplit::default());
+        assert_eq!(Response::from_json(&drifted.to_json()), Ok(drifted));
+        let err = Response::err("req-2", "unknown selector \"fig99\"", 0.0);
+        assert_eq!(err.status, ERROR_STATUS);
+        assert_eq!(Response::from_json(&err.to_json()), Ok(err));
+    }
+
+    #[test]
+    fn pending_requests_sorted_and_filtered() {
+        let dir = tmpdir("pending");
+        request("b-second").write(&dir).unwrap();
+        request("a-first").write(&dir).unwrap();
+        Response::err("a-first", "x", 0.0).write(&dir).unwrap();
+        std::fs::write(dir.join(".tmp-999-0"), "partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let pending = pending_requests(&dir);
+        assert_eq!(
+            pending,
+            vec![request_path(&dir, "a-first"), request_path(&dir, "b-second")],
+            "responses, temp files, and strangers are not requests"
+        );
+        assert_eq!(request_id(&pending[0]), Some("a-first".to_string()));
+        assert_eq!(request_id(&response_path(&dir, "a-first")), None);
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_files() {
+        let dir = tmpdir("atomic");
+        let req = request("req-1");
+        req.write(&dir).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let text = std::fs::read_to_string(request_path(&dir, "req-1")).unwrap();
+        assert_eq!(Request::from_json(&Json::parse(&text).unwrap()), Ok(req));
+    }
+
+    #[test]
+    fn pending_requests_on_missing_dir_is_empty() {
+        assert!(pending_requests(Path::new("/nonexistent/levioso-jobdir")).is_empty());
+    }
+}

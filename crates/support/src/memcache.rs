@@ -1,0 +1,346 @@
+//! An in-memory hot tier layered above the on-disk sweep-cell cache.
+//!
+//! [`crate::cache::Cache`] makes warm sweeps cheap, but every hit still
+//! pays a filesystem read plus a JSON parse per cell. A long-lived server
+//! process (`all --serve`) answers the same cells over and over, so this
+//! module adds a process-lifetime L1:
+//!
+//! * [`HotTier`] — a hash-keyed map of *deserialized* cell results (the
+//!   same [`stable_hash_hex`] key the disk tier uses as a filename), so a
+//!   warm lookup does zero filesystem I/O and zero re-parsing;
+//! * [`TieredCache`] — the composition the cell-cache handles bind to:
+//!   L1 probe first, then the disk [`Cache`] as L2, write-through stores,
+//!   and promotion of L2 hits into L1.
+//!
+//! Correctness properties (pinned by tests here and in `levioso-bench`):
+//!
+//! * the L1 stores the full input text next to the result and compares it
+//!   on every probe — a hash collision is an L1 miss, never a wrong hit,
+//!   exactly mirroring the disk tier's stored-input guard;
+//! * L1 hits return bit-identical results to disk hits (the stored value
+//!   *is* the result document that was stored/validated), so served runs
+//!   stay byte-identical to cold runs;
+//! * the hot tier is **opt-in** ([`TieredCache::plain`] has none): one-shot
+//!   CLI runs keep the pure disk-cache semantics their tests pin (e.g.
+//!   evicting a disk cell must make it recompute), while the serve loop
+//!   calls [`TieredCache::with_hot_tier`] once at startup;
+//! * a disabled disk tier disables the whole stack — `--no-cache` means
+//!   *no* cache, not "no disk but warm memory".
+//!
+//! Counter accounting: [`TieredCache::report`] composes the disk tier's
+//! counters with the L1 counter — `hits` covers both tiers, `l1_hits` is
+//! the memory-only subset, and `misses`/`poisoned`/`stores`/`miss_labels`
+//! come straight from the disk tier (an L1 hit never reaches it). The
+//! throughput-honesty invariant is tier-agnostic: callers skip
+//! `throughput::record` on *any* hit, so neither tier ever contributes
+//! busy-time samples.
+
+use crate::cache::{stable_hash_hex, Cache, CacheReport};
+use crate::json::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One resident cell: the full input text (collision guard) and the
+/// already-deserialized result document.
+#[derive(Debug, Clone)]
+struct HotCell {
+    input: String,
+    result: Json,
+}
+
+/// A process-lifetime map of deserialized cell envelopes, keyed by the
+/// same 128-bit content hash the disk tier uses as a filename.
+///
+/// Thread-safe; shared across clones of the owning [`TieredCache`].
+#[derive(Debug, Default)]
+pub struct HotTier {
+    cells: Mutex<HashMap<String, HotCell>>,
+}
+
+impl HotTier {
+    /// Probes the tier for `input` under `key` (its content hash). A
+    /// resident cell whose stored input differs is a collision → miss.
+    fn probe(&self, key: &str, input: &str) -> Option<Json> {
+        let cells = self.cells.lock().expect("hot tier lock");
+        let cell = cells.get(key)?;
+        if cell.input == input {
+            Some(cell.result.clone())
+        } else {
+            None
+        }
+    }
+
+    fn insert(&self, key: String, input: &str, result: &Json) {
+        self.cells
+            .lock()
+            .expect("hot tier lock")
+            .insert(key, HotCell { input: input.to_string(), result: result.clone() });
+    }
+
+    /// Number of resident cells.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("hot tier lock").len()
+    }
+
+    /// Whether the tier holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Test hook: inserts a cell under an arbitrary key so the collision
+    /// guard can be exercised without manufacturing a real hash collision.
+    #[cfg(test)]
+    fn insert_raw(&self, key: &str, input: &str, result: &Json) {
+        self.insert(key.to_string(), input, result);
+    }
+}
+
+/// The two-tier cell cache: an optional in-memory [`HotTier`] (L1) above
+/// the on-disk [`Cache`] (L2).
+///
+/// Cloning is cheap and shares both tiers and all counters, mirroring
+/// [`Cache`]'s clone semantics, so one logical cache can be consulted from
+/// many sweep workers.
+#[derive(Debug, Clone)]
+pub struct TieredCache {
+    disk: Cache,
+    hot: Option<Arc<HotTier>>,
+    l1_hits: Arc<AtomicU64>,
+}
+
+impl TieredCache {
+    /// A tiered cache with **no** hot tier: behaves exactly like the disk
+    /// cache it wraps (every `l1_hits` report field is zero).
+    pub fn plain(disk: Cache) -> TieredCache {
+        TieredCache { disk, hot: None, l1_hits: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A tiered cache with a fresh, empty hot tier above `disk`.
+    pub fn with_hot_tier(disk: Cache) -> TieredCache {
+        TieredCache {
+            disk,
+            hot: Some(Arc::new(HotTier::default())),
+            l1_hits: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds a fresh hot tier to this cache if it has none (keeps the
+    /// existing one — and its resident cells — if it does).
+    pub fn enable_hot_tier(&mut self) {
+        if self.hot.is_none() {
+            self.hot = Some(Arc::new(HotTier::default()));
+        }
+    }
+
+    /// Whether a hot tier is layered above the disk cache.
+    pub fn hot_enabled(&self) -> bool {
+        self.hot.is_some()
+    }
+
+    /// The underlying disk tier.
+    pub fn disk(&self) -> &Cache {
+        &self.disk
+    }
+
+    /// Whether lookups can ever hit (the disk tier's switch governs the
+    /// whole stack: a disabled cache serves nothing from memory either).
+    pub fn enabled(&self) -> bool {
+        self.disk.enabled()
+    }
+
+    /// The sim-core fingerprint the disk tier is namespaced under.
+    pub fn fingerprint(&self) -> &str {
+        self.disk.fingerprint()
+    }
+
+    /// The directory the disk tier's cells live in.
+    pub fn dir(&self) -> std::path::PathBuf {
+        self.disk.dir()
+    }
+
+    /// Looks up the result for `input`: L1 first (zero I/O), then disk.
+    /// A disk hit is promoted into the hot tier so the next lookup is
+    /// memory-only. Counting matches [`Cache::lookup`]; L1 hits bump both
+    /// the shared hit counter and the L1-specific one.
+    pub fn lookup(&self, label: &str, input: &str) -> Option<Json> {
+        if self.enabled() {
+            if let Some(hot) = &self.hot {
+                let key = stable_hash_hex(input.as_bytes());
+                if let Some(result) = hot.probe(&key, input) {
+                    self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(result);
+                }
+                let result = self.disk.lookup(label, input)?;
+                hot.insert(key, input, &result);
+                return Some(result);
+            }
+        }
+        self.disk.lookup(label, input)
+    }
+
+    /// Persists `result` for `input` write-through: the disk envelope is
+    /// written (tmp+rename) *and* the deserialized result becomes resident
+    /// in the hot tier, so a server's own computations warm its L1.
+    pub fn store(&self, label: &str, input: &str, result: &Json, busy_nanos: u64) {
+        self.disk.store(label, input, result, busy_nanos);
+        if self.enabled() {
+            if let Some(hot) = &self.hot {
+                hot.insert(stable_hash_hex(input.as_bytes()), input, result);
+            }
+        }
+    }
+
+    /// Estimated compute cost for `input` — delegated to the disk tier
+    /// (which memoizes its cross-fingerprint scan; see
+    /// [`Cache::estimate_cost`]).
+    pub fn estimate_cost(&self, input: &str) -> Option<u64> {
+        self.disk.estimate_cost(input)
+    }
+
+    /// Number of cells persisted on disk under this fingerprint.
+    pub fn cell_count(&self) -> usize {
+        self.disk.cell_count()
+    }
+
+    /// Number of cells resident in the hot tier (0 without one).
+    pub fn hot_cell_count(&self) -> usize {
+        self.hot.as_ref().map_or(0, |h| h.len())
+    }
+
+    /// Counter snapshot across both tiers: `hits` includes L1 hits,
+    /// `l1_hits` is the memory-only subset.
+    pub fn report(&self) -> CacheReport {
+        let mut report = self.disk.report();
+        let l1 = self.l1_hits.load(Ordering::Relaxed);
+        report.hits += l1;
+        report.l1_hits = l1;
+        report
+    }
+
+    /// Zeroes the counters (both tiers'). Resident hot-tier cells are
+    /// kept — contents are process-lifetime, counters are per-phase.
+    pub fn reset_counters(&self) {
+        self.disk.reset_counters();
+        self.l1_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("levioso-memcache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp cache root");
+        dir
+    }
+
+    fn result_doc(v: i64) -> Json {
+        Json::obj([("cycles", Json::I64(v))])
+    }
+
+    fn disk_path(cache: &TieredCache, input: &str) -> PathBuf {
+        cache.dir().join(format!("{}.json", stable_hash_hex(input.as_bytes())))
+    }
+
+    #[test]
+    fn warm_lookup_is_memory_only() {
+        let cache = TieredCache::with_hot_tier(Cache::new(tmpdir("warm"), "v1"));
+        cache.store("cell", "input-a", &result_doc(42), 1_000);
+        // Remove the disk envelope: only the hot tier can serve now.
+        std::fs::remove_file(disk_path(&cache, "input-a")).unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(42)));
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses), (1, 1, 0));
+        assert_eq!(cache.hot_cell_count(), 1);
+    }
+
+    #[test]
+    fn plain_tier_matches_disk_semantics() {
+        let cache = TieredCache::plain(Cache::new(tmpdir("plain"), "v1"));
+        assert!(!cache.hot_enabled());
+        cache.store("cell", "input-a", &result_doc(42), 0);
+        std::fs::remove_file(disk_path(&cache, "input-a")).unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), None, "no hot tier → eviction is a miss");
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses), (0, 0, 1));
+    }
+
+    #[test]
+    fn disk_hit_is_promoted_into_the_hot_tier() {
+        let root = tmpdir("promote");
+        // A previous process stored the cell on disk.
+        Cache::new(&root, "v1").store("cell", "input-a", &result_doc(7), 0);
+        let cache = TieredCache::with_hot_tier(Cache::new(&root, "v1"));
+        assert_eq!(cache.hot_cell_count(), 0);
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(7)), "L2 hit");
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits), (1, 0), "first hit came from disk");
+        // Evict from disk; the promoted copy serves from memory.
+        std::fs::remove_file(disk_path(&cache, "input-a")).unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(7)), "L1 hit");
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses), (2, 1, 0));
+    }
+
+    #[test]
+    fn hot_tier_collision_is_a_miss_not_a_wrong_hit() {
+        let cache = TieredCache::with_hot_tier(Cache::new(tmpdir("collide"), "v1"));
+        let key = stable_hash_hex(b"input-a");
+        // Simulate a hash collision: a *different* input resident under
+        // input-a's key.
+        cache.hot.as_ref().unwrap().insert_raw(&key, "other-input", &result_doc(99));
+        assert_eq!(cache.lookup("cell", "input-a"), None, "guarded by stored-input equality");
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses), (0, 0, 1));
+    }
+
+    #[test]
+    fn reset_counters_keeps_resident_cells() {
+        let cache = TieredCache::with_hot_tier(Cache::new(tmpdir("reset"), "v1"));
+        cache.store("cell", "input-a", &result_doc(1), 0);
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(1)));
+        cache.reset_counters();
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses, r.stores), (0, 0, 0, 0));
+        std::fs::remove_file(disk_path(&cache, "input-a")).unwrap();
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(1)), "contents survive reset");
+        assert_eq!(cache.report().l1_hits, 1);
+    }
+
+    #[test]
+    fn disabled_disk_disables_the_hot_tier_too() {
+        let cache = TieredCache::with_hot_tier(Cache::disabled());
+        cache.store("cell", "input-a", &result_doc(1), 0);
+        assert_eq!(cache.hot_cell_count(), 0, "disabled stores touch no tier");
+        assert_eq!(cache.lookup("cell", "input-a"), None);
+        let r = cache.report();
+        assert_eq!((r.hits, r.l1_hits, r.misses), (0, 0, 1));
+    }
+
+    #[test]
+    fn enable_hot_tier_is_idempotent_and_preserves_contents() {
+        let mut cache = TieredCache::with_hot_tier(Cache::new(tmpdir("idem"), "v1"));
+        cache.store("cell", "input-a", &result_doc(1), 0);
+        cache.enable_hot_tier();
+        assert_eq!(cache.hot_cell_count(), 1, "existing tier (and cells) kept");
+        let mut plain = TieredCache::plain(Cache::new(tmpdir("idem2"), "v1"));
+        assert!(!plain.hot_enabled());
+        plain.enable_hot_tier();
+        assert!(plain.hot_enabled());
+    }
+
+    #[test]
+    fn clones_share_tiers_and_counters() {
+        let cache = TieredCache::with_hot_tier(Cache::new(tmpdir("clone"), "v1"));
+        let clone = cache.clone();
+        cache.store("cell", "input-a", &result_doc(1), 0);
+        std::fs::remove_file(disk_path(&cache, "input-a")).unwrap();
+        assert_eq!(clone.lookup("cell", "input-a"), Some(result_doc(1)), "shared hot tier");
+        assert_eq!(cache.report().l1_hits, 1, "shared counters");
+    }
+}

@@ -33,6 +33,13 @@
 #     cache split:        asserts the golden gate printed its sweep-cache
 #                         hit/miss line — a run that silently stopped
 #                         reporting the split would hide cache rot
+#     serve smoke:        starts `all --smoke --serve` once, submits the
+#                         smoke golden check twice via levq, and asserts
+#                         the second response is answered entirely from
+#                         the in-memory hot tier (nonzero l1_hits, zero
+#                         disk reads, zero recomputes) with report bytes
+#                         identical to the first; both request latencies
+#                         land in target/ci_timing.json
 #
 # Every step's wall-clock is reported inline and written machine-readably
 # to target/ci_timing.json (schema levioso-ci-timing/1), so a CI run's
@@ -115,6 +122,60 @@ step_noninterference() {
   cargo run -q --release --offline -p levioso-bench --bin table4_noninterference -- --smoke --quiet
 }
 
+step_serve_smoke() {
+  local jobs=target/ci_jobs resdir=target/ci_serve_results
+  rm -rf "$jobs" "$resdir"
+  cargo build -q --release --offline -p levioso-bench
+  LEVIOSO_RESULTS_DIR="$resdir" target/release/all --smoke --serve "$jobs" \
+    2> target/ci_serve_server.log &
+  local server=$!
+  # Wait until the server is polling: a request written before its start
+  # would be skipped as stale by design.
+  local i
+  for i in $(seq 1 100); do [[ -d "$jobs" ]] && break; sleep 0.1; done
+  sleep 0.5
+  local id
+  for id in ci-cold ci-warm; do
+    if ! target/release/levq "$jobs" check --smoke --id "$id" --timeout-secs 300 \
+        > "target/ci_serve_$id.out" 2> "target/ci_serve_$id.err"; then
+      kill "$server" 2>/dev/null || true
+      echo "ERROR: served check request $id failed:" >&2
+      cat "target/ci_serve_$id.err" >&2
+      exit 1
+    fi
+  done
+  if ! target/release/levq "$jobs" shutdown --id ci-bye --timeout-secs 60 >/dev/null 2>&1; then
+    kill "$server" 2>/dev/null || true
+    echo "ERROR: serve smoke: shutdown request failed" >&2
+    exit 1
+  fi
+  if ! wait "$server"; then
+    echo "ERROR: serve smoke: server exited nonzero (see target/ci_serve_server.log)" >&2
+    exit 1
+  fi
+  if ! cmp -s target/ci_serve_ci-cold.out target/ci_serve_ci-warm.out; then
+    echo "ERROR: serve smoke: warm report bytes differ from the cold report" >&2
+    exit 1
+  fi
+  local warm_line
+  warm_line=$(grep -E '^levq: id=ci-warm' target/ci_serve_ci-warm.err)
+  echo "    warm request: $warm_line"
+  if ! grep -qE 'l1_hits=[1-9][0-9]* l2_hits=0 misses=0' <<< "$warm_line"; then
+    echo "ERROR: serve smoke: warm request was not answered entirely from the memory tier" >&2
+    exit 1
+  fi
+  # Fold both request latencies into the timing report (fractional seconds,
+  # straight from the responses' wall_seconds).
+  local cold_s warm_s
+  cold_s=$(sed -nE 's/^levq: id=ci-cold .*wall_seconds=([0-9.]+).*/\1/p' target/ci_serve_ci-cold.err)
+  warm_s=$(sed -nE 's/^levq: id=ci-warm .*wall_seconds=([0-9.]+).*/\1/p' target/ci_serve_ci-warm.err)
+  step_names+=("serve smoke: cold levq check" "serve smoke: warm levq check")
+  step_seconds+=("${cold_s:-0}" "${warm_s:-0}")
+  # The server's results snapshots (cumulative throughput split + the
+  # latency book) must satisfy perfcheck's invariants too.
+  LEVIOSO_RESULTS_DIR="$resdir" target/release/perfcheck
+}
+
 step_cache_split() {
   local line
   if ! line=$(grep -E '^sweep-cache: [0-9]+ hits, [0-9]+ misses' target/ci_golden_gate.log); then
@@ -140,6 +201,7 @@ if [[ "$mode" == "test" || "$mode" == "all" ]]; then
   run_step "trace smoke: levitrace conservation + round-trip on one cell" step_trace_smoke
   run_step "noninterference gate: two-run fuzz of every scheme, smoke tier" step_noninterference
   run_step "golden gate reported its cache hit/miss split" step_cache_split
+  run_step "serve smoke: warm server answers the second check from memory" step_serve_smoke
 fi
 
 echo "==> OK: ci.sh $mode green in $((SECONDS - start))s (per-step timing in target/ci_timing.json)"
