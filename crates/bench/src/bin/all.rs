@@ -13,7 +13,9 @@
 //! bit-identical at any thread count. Every mode additionally writes the
 //! simulator throughput snapshot to `results/BENCH_sim_throughput.json`
 //! (see `levioso_bench::throughput`), preserving any recorded `baseline`
-//! object so the before/after trajectory survives regeneration.
+//! object so the before/after trajectory survives regeneration, and
+//! mirrors the final telemetry snapshot (`levioso-metrics/1`, see
+//! `levioso_support::metrics`) to `results/METRICS_run.json`.
 #[path = "../util.rs"]
 mod util;
 
@@ -51,6 +53,7 @@ fn main() {
     if opts.check || opts.bless {
         let code = gate_mode(&sweep, tier, opts.check, start);
         write_throughput(&sweep, tier, start);
+        write_metrics();
         std::process::exit(code);
     }
 
@@ -68,7 +71,19 @@ fn main() {
     util::emit_attrib(&opts, &sweep, "overhead", &levioso_core::Scheme::HEADLINE);
     print_cache_summary(false);
     write_throughput(&sweep, tier, start);
+    write_metrics();
     eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Mirrors the final registry snapshot to `results/METRICS_run.json` —
+/// the same document a served session refreshes after every request.
+fn write_metrics() {
+    let path = util::results_dir().join("METRICS_run.json");
+    if let Err(e) = std::fs::create_dir_all(util::results_dir())
+        .and_then(|()| std::fs::write(&path, levioso_support::metrics::snapshot_text()))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// Prints the sweep-cache hit/miss split (the line `scripts/ci.sh` asserts

@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
+    let start = std::time::Instant::now();
     let opts = util::Opts::parse(false, true);
     let sweep = opts.sweep();
     let f = levioso_bench::overhead_figure(&sweep, opts.tier.scale());
@@ -19,4 +20,5 @@ fn main() {
         }
     }
     util::emit_attrib(&opts, &sweep, "fig2_overhead", &levioso_core::Scheme::HEADLINE);
+    util::finish(start);
 }

@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
+    let start = std::time::Instant::now();
     let opts = util::Opts::parse(false, true);
     let sweep = opts.sweep();
     let f = levioso_bench::ablation_figure(&sweep, opts.tier.scale());
@@ -13,4 +14,5 @@ fn main() {
         "fig3_ablation",
         &[levioso_core::Scheme::Levioso, levioso_core::Scheme::LeviosoStatic],
     );
+    util::finish(start);
 }

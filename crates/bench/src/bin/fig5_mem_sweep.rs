@@ -3,6 +3,7 @@
 mod util;
 
 fn main() {
+    let start = std::time::Instant::now();
     let opts = util::Opts::parse(false, false);
     let f = levioso_bench::mem_sweep_figure(
         &opts.sweep(),
@@ -10,4 +11,5 @@ fn main() {
         opts.tier.dram_latencies(),
     );
     util::emit(&opts, "fig5_mem_sweep", &f.render(), Some(f.to_json()));
+    util::finish(start);
 }

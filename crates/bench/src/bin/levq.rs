@@ -34,7 +34,7 @@ fn usage() -> String {
     "usage: levq <jobdir> <selector> [--smoke|--paper] [--threads N] [--id ID] [--timeout-secs N]\n\
      \n  <jobdir>            the directory a running `all --serve <jobdir>` polls\
      \n  <selector>          check | table1_config | table2_security | table3_annotation |\
-     \n                      table4 | fig1_motivation..fig7_hint_budget | shutdown\
+     \n                      table4 | fig1_motivation..fig7_hint_budget | status | shutdown\
      \n  --smoke / --paper   sweep tier (default: LEVIOSO_SCALE or paper)\
      \n  --threads N         server-side worker threads for this request (default 1)\
      \n  --id ID             request id (default: levq-<pid>; names the request/response files)\

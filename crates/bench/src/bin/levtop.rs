@@ -1,0 +1,433 @@
+//! `levtop`: the live terminal dashboard for a running warm sweep server.
+//!
+//! Polls a server's `status` selector through the job directory (the same
+//! `levioso-sweep-job/1` protocol `levq` speaks), parses the returned
+//! `levioso-serve-status/1` document, and renders a refreshing dashboard:
+//! cache-tier splits per domain, request counts and rates by selector and
+//! outcome, latency percentiles, and worker utilization — everything the
+//! `levioso-metrics/1` registry snapshot carries.
+//!
+//! ```text
+//! levtop target/jobs                  # live dashboard, refresh every 2s
+//! levtop target/jobs --once           # render one frame and exit
+//! levtop target/jobs --once --json    # print the raw status JSON (scripting)
+//! ```
+//!
+//! Exits nonzero if the server never answers within the timeout — so CI
+//! can use `levtop <dir> --once --json` as a liveness probe.
+
+use levioso_support::jobdir::{self, Request, Response};
+use levioso_support::Json;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+struct Args {
+    jobdir: PathBuf,
+    tier: String,
+    once: bool,
+    json: bool,
+    interval: Duration,
+    timeout: Duration,
+}
+
+fn usage() -> String {
+    "usage: levtop <jobdir> [--smoke|--paper] [--once] [--json] [--interval-secs N] \
+     [--timeout-secs N]\n\
+     \n  <jobdir>            the directory a running `all --serve <jobdir>` polls\
+     \n  --smoke / --paper   tier tag on the status requests (default: LEVIOSO_SCALE or paper)\
+     \n  --once              render a single frame and exit\
+     \n  --json              with --once: print the raw status JSON instead of the dashboard\
+     \n  --interval-secs N   refresh interval (default 2)\
+     \n  --timeout-secs N    give up on an unanswered status request after N seconds (default 60)"
+        .to_string()
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n{}", usage());
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut jobdir = None;
+    let mut tier = match std::env::var("LEVIOSO_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => "smoke".to_string(),
+        _ => "paper".to_string(),
+    };
+    let mut once = false;
+    let mut json = false;
+    let mut interval = Duration::from_secs(2);
+    let mut timeout = Duration::from_secs(60);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => tier = "smoke".to_string(),
+            "--paper" => tier = "paper".to_string(),
+            "--once" => once = true,
+            "--json" => json = true,
+            "--interval-secs" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => interval = Duration::from_secs(n),
+                _ => usage_error("--interval-secs needs a positive integer"),
+            },
+            "--timeout-secs" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => timeout = Duration::from_secs(n),
+                _ => usage_error("--timeout-secs needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                exit(0);
+            }
+            other if other.starts_with('-') => usage_error(&format!("unknown argument `{other}`")),
+            _ if jobdir.is_none() => jobdir = Some(PathBuf::from(arg)),
+            _ => usage_error("expected exactly one <jobdir>"),
+        }
+    }
+    if json && !once {
+        usage_error("--json only makes sense with --once");
+    }
+    let Some(jobdir) = jobdir else { usage_error("expected a <jobdir>") };
+    Args { jobdir, tier, once, json, interval, timeout }
+}
+
+/// Submits one `status` request and returns the server's report text.
+/// `None` if the server never answered within the timeout.
+fn poll_status(dir: &Path, tier: &str, seq: u64, timeout: Duration) -> Option<String> {
+    let id = format!("levtop-{}-{seq}", std::process::id());
+    let request = Request {
+        id: id.clone(),
+        selector: "status".to_string(),
+        tier: tier.to_string(),
+        threads: 1,
+        // Empty = accept any core revision: a dashboard wants to observe
+        // whatever server is running, not refuse a stale one.
+        fingerprint: String::new(),
+    };
+    let resp_path = jobdir::response_path(dir, &id);
+    let _ = std::fs::remove_file(&resp_path);
+    if let Err(e) = request.write(dir) {
+        eprintln!("levtop: cannot write request into {}: {e}", dir.display());
+        exit(3);
+    }
+    let deadline = Instant::now() + timeout;
+    let text = loop {
+        match std::fs::read_to_string(&resp_path) {
+            Ok(text) => break text,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => {
+                let _ = std::fs::remove_file(jobdir::request_path(dir, &id));
+                return None;
+            }
+        }
+    };
+    let _ = std::fs::remove_file(&resp_path);
+    let response = Json::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| Response::from_json(&doc))
+        .unwrap_or_else(|e| {
+            eprintln!("levtop: unparseable response {}: {e}", resp_path.display());
+            exit(3);
+        });
+    if !response.ok {
+        eprintln!(
+            "levtop: server refused the status request: {}",
+            response.error.as_deref().unwrap_or("(no reason)")
+        );
+        exit(3);
+    }
+    Some(response.report)
+}
+
+/// Splits a registry identity `name{k=v,...}` into the metric name and its
+/// label pairs.
+fn split_identity(identity: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(brace) = identity.find('{') else {
+        return (identity, Vec::new());
+    };
+    let name = &identity[..brace];
+    let labels = identity[brace + 1..]
+        .trim_end_matches('}')
+        .split(',')
+        .filter_map(|pair| pair.split_once('='))
+        .collect();
+    (name, labels)
+}
+
+fn label<'a>(labels: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    labels.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// The parsed pieces of one status document the dashboard renders.
+struct Frame {
+    fingerprint: String,
+    uptime: f64,
+    served: i64,
+    inflight: i64,
+    queue_highwater: i64,
+    enabled: bool,
+    /// `(identity, value)` of every counter, registry order.
+    counters: Vec<(String, u64)>,
+    /// `(selector, count, p50, p95, p99)` in seconds.
+    latency: Vec<(String, u64, f64, f64, f64)>,
+    /// `(worker, busy_nanos, idle_nanos)`.
+    workers: Vec<(String, u64, u64)>,
+}
+
+fn parse_frame(report: &str) -> Frame {
+    let fail = |reason: &str| -> ! {
+        eprintln!("levtop: bad status document: {reason}");
+        exit(3);
+    };
+    let Ok(doc) = Json::parse(report) else { fail("not valid JSON") };
+    if doc.get("schema").and_then(Json::as_str) != Some(levioso_bench::serve::STATUS_SCHEMA) {
+        fail("missing or unknown schema field");
+    }
+    let metrics = doc.get("metrics").unwrap_or(&Json::Null);
+    let mut counters = Vec::new();
+    if let Some(Json::Obj(entries)) = metrics.get("counters") {
+        for (identity, value) in entries {
+            let v = value.as_str().and_then(|s| s.parse::<u64>().ok());
+            counters.push((identity.clone(), v.unwrap_or_else(|| fail("unparsable counter"))));
+        }
+    }
+    let mut latency = Vec::new();
+    if let Some(Json::Obj(entries)) = metrics.get("timers") {
+        for (identity, value) in entries {
+            let (name, labels) = split_identity(identity);
+            if name != "serve_request_micros" {
+                continue;
+            }
+            let selector = label(&labels, "selector").unwrap_or("(none)").to_string();
+            let count =
+                value.get("count").and_then(Json::as_str).and_then(|s| s.parse::<u64>().ok());
+            let micros = |key: &str| -> f64 {
+                value
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map_or(f64::NAN, |m| m as f64 / 1e6)
+            };
+            latency.push((
+                selector,
+                count.unwrap_or(0),
+                micros("p50"),
+                micros("p95"),
+                micros("p99"),
+            ));
+        }
+    }
+    let mut workers: Vec<(String, u64, u64)> = Vec::new();
+    for (identity, value) in &counters {
+        let (name, labels) = split_identity(identity);
+        let (busy, idle) = match name {
+            "pool_worker_busy_nanos" => (*value, 0),
+            "pool_worker_idle_nanos" => (0, *value),
+            _ => continue,
+        };
+        let worker = label(&labels, "worker").unwrap_or("?").to_string();
+        match workers.iter_mut().find(|(w, _, _)| *w == worker) {
+            Some(row) => {
+                row.1 += busy;
+                row.2 += idle;
+            }
+            None => workers.push((worker, busy, idle)),
+        }
+    }
+    workers.sort_by_key(|(w, _, _)| w.parse::<u64>().unwrap_or(u64::MAX));
+    let gauge = |name: &str| -> i64 {
+        metrics.get("gauges").and_then(|g| g.get(name)).and_then(Json::as_i64).unwrap_or(0)
+    };
+    let inflight = gauge("serve_inflight");
+    let queue_highwater = gauge("pool_queue_depth_highwater");
+    Frame {
+        fingerprint: doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or("(unknown)")
+            .to_string(),
+        uptime: doc.get("uptime_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+        served: doc.get("requests_served").and_then(Json::as_i64).unwrap_or(0),
+        inflight,
+        queue_highwater,
+        enabled: metrics.get("enabled").and_then(Json::as_bool).unwrap_or(false),
+        counters,
+        latency,
+        workers,
+    }
+}
+
+impl Frame {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(id, _)| split_identity(id).0 == name).map(|(_, v)| v).sum()
+    }
+
+    fn counter_with(&self, name: &str, key: &str, value: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(id, _)| {
+                let (n, labels) = split_identity(id);
+                n == name && label(&labels, key) == Some(value)
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Every distinct value of `key` across `name`'s label sets, in
+    /// registry (sorted-identity) order.
+    fn label_values(&self, name: &str, key: &str) -> Vec<String> {
+        let mut values: Vec<String> = Vec::new();
+        for (id, _) in &self.counters {
+            let (n, labels) = split_identity(id);
+            if n != name {
+                continue;
+            }
+            if let Some(v) = label(&labels, key) {
+                if !values.iter().any(|have| have == v) {
+                    values.push(v.to_string());
+                }
+            }
+        }
+        values
+    }
+}
+
+/// Renders one dashboard frame. `prev` (with the seconds since it was
+/// taken) turns cumulative request counters into rates.
+fn render(frame: &Frame, prev: Option<(&Frame, f64)>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "levioso levtop — fingerprint {} · up {:.1}s · {} served · {} in flight · metrics {}",
+        frame.fingerprint,
+        frame.uptime,
+        frame.served,
+        frame.inflight,
+        if frame.enabled { "on" } else { "off" },
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "cache tiers", "l1 hits", "l2 hits", "misses", "stores", "promotions"
+    );
+    for domain in frame.label_values("sweep_cache_misses_total", "cache") {
+        let c = |stem: &str| frame.counter_with(stem, "cache", &domain);
+        let _ = writeln!(
+            out,
+            "  {domain:<20} {:>10} {:>10} {:>10} {:>10} {:>11}",
+            c("sweep_cache_l1_hits_total"),
+            c("sweep_cache_l2_hits_total"),
+            c("sweep_cache_misses_total"),
+            c("sweep_cache_stores_total"),
+            c("sweep_cache_promotions_total"),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "requests", "total", "ok", "gate_failed", "error", "rate/s"
+    );
+    for selector in frame.label_values("serve_requests_total", "selector") {
+        let outcome = |o: &str| -> u64 {
+            frame
+                .counters
+                .iter()
+                .filter(|(id, _)| {
+                    let (n, labels) = split_identity(id);
+                    n == "serve_requests_total"
+                        && label(&labels, "selector") == Some(selector.as_str())
+                        && label(&labels, "outcome") == Some(o)
+                })
+                .map(|(_, v)| v)
+                .sum()
+        };
+        let total = frame.counter_with("serve_requests_total", "selector", &selector);
+        let rate = prev.map_or(0.0, |(p, secs)| {
+            let before = p.counter_with("serve_requests_total", "selector", &selector);
+            if secs > 0.0 {
+                total.saturating_sub(before) as f64 / secs
+            } else {
+                0.0
+            }
+        });
+        let _ = writeln!(
+            out,
+            "  {selector:<20} {total:>10} {:>10} {:>12} {:>10} {rate:>10.2}",
+            outcome("ok"),
+            outcome("gate_failed"),
+            outcome("error"),
+        );
+    }
+    if !frame.latency.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            "latency (seconds)", "count", "p50", "p95", "p99"
+        );
+        for (selector, count, p50, p95, p99) in &frame.latency {
+            let _ =
+                writeln!(out, "  {selector:<20} {count:>10} {p50:>10.3} {p95:>10.3} {p99:>10.3}");
+        }
+    }
+    if !frame.workers.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<22} {:>10} {:>10} {:>10}", "workers", "busy s", "idle s", "util");
+        for (worker, busy, idle) in &frame.workers {
+            let total = busy + idle;
+            let util = if total > 0 { 100.0 * *busy as f64 / total as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {worker:<20} {:>10.2} {:>10.2} {util:>9.1}%",
+                *busy as f64 / 1e9,
+                *idle as f64 / 1e9,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pool: {} jobs dealt · {} steals · queue high-water {}",
+            frame.counter("pool_jobs_dealt_total"),
+            frame.counter("pool_steals_total"),
+            frame.queue_highwater,
+        );
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut seq = 0u64;
+    let mut prev: Option<(Frame, Instant)> = None;
+    loop {
+        let Some(report) = poll_status(&args.jobdir, &args.tier, seq, args.timeout) else {
+            eprintln!(
+                "levtop: no status response within {}s — is `all --serve {}` running?",
+                args.timeout.as_secs(),
+                args.jobdir.display()
+            );
+            exit(3);
+        };
+        let taken = Instant::now();
+        seq += 1;
+        if args.json {
+            print!("{report}");
+            return;
+        }
+        let frame = parse_frame(&report);
+        let rendered = render(
+            &frame,
+            prev.as_ref().map(|(p, at)| (p, taken.duration_since(*at).as_secs_f64())),
+        );
+        if args.once {
+            print!("{rendered}");
+            return;
+        }
+        // ANSI clear + home: a flicker-free refresh on any terminal.
+        print!("\x1b[2J\x1b[H{rendered}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        prev = Some((frame, taken));
+        std::thread::sleep(args.interval);
+    }
+}

@@ -7,9 +7,13 @@
 //! silently stops producing throughput numbers fails the build.
 //!
 //! Also validates `results/BENCH_serve_latency.json` when present (the
-//! warm sweep server's request-latency book, `levioso-serve-latency/1`) —
-//! a server run that stops recording latencies fails the build the same
-//! way a silent throughput regression would.
+//! warm sweep server's request-latency book, `levioso-serve-latency/2`,
+//! including the per-selector p50/p95/p99 distributions) — a server run
+//! that stops recording latencies fails the build the same way a silent
+//! throughput regression would. Likewise `results/METRICS_run.json` (the
+//! `levioso-metrics/1` registry snapshot every `all` run and every served
+//! request mirrors): a present file must be schema-tagged and every
+//! counter/timer well-formed.
 //!
 //! ```text
 //! perfcheck            # validate + summarize results/BENCH_*.json
@@ -145,6 +149,7 @@ fn main() {
          wall_seconds={wall:.3} kilocycles_per_busy_sec={kc:.3} cells_per_busy_sec={cps:.3}"
     );
     check_serve_latency();
+    check_metrics_run();
 }
 
 /// Validates `results/BENCH_serve_latency.json` if a server wrote one.
@@ -160,8 +165,8 @@ fn check_serve_latency() {
         exit(1);
     };
     let Ok(doc) = Json::parse(&text) else { fail("not valid JSON") };
-    if doc.get("schema").and_then(Json::as_str) != Some("levioso-serve-latency/1") {
-        fail("missing or unknown schema field (expected levioso-serve-latency/1)");
+    if doc.get("schema").and_then(Json::as_str) != Some("levioso-serve-latency/2") {
+        fail("missing or unknown schema field (expected levioso-serve-latency/2)");
     }
     // Either cold field may be null (no check request served yet), but a
     // recorded value must be a positive finite duration.
@@ -195,6 +200,44 @@ fn check_serve_latency() {
             }
         }
     }
+    // The per-selector latency distributions: every selector's entry must
+    // carry a parsable histogram, ordered percentiles, and counts that sum
+    // to the request book.
+    let Some(Json::Obj(selectors)) = doc.get("selectors") else {
+        fail("missing or non-object field `selectors`")
+    };
+    let mut selector_count = 0i64;
+    for (selector, entry) in selectors {
+        let sfail = |reason: &str| -> ! { fail(&format!("selectors.{selector}: {reason}")) };
+        let count = match entry.get("count").and_then(Json::as_i64) {
+            Some(n) if n >= 1 => n,
+            _ => sfail("`count` missing or < 1"),
+        };
+        selector_count += count;
+        let pct = |key: &str| -> f64 {
+            match entry.get(key).and_then(Json::as_f64) {
+                Some(v) if v.is_finite() && v >= 0.0 => v,
+                _ => sfail(&format!("`{key}` missing or not a finite non-negative number")),
+            }
+        };
+        let (p50, p95, p99) = (pct("p50_seconds"), pct("p95_seconds"), pct("p99_seconds"));
+        if !(p50 <= p95 && p95 <= p99) {
+            sfail(&format!("percentiles out of order: p50={p50} p95={p95} p99={p99}"));
+        }
+        let Some(h) = entry.get("histogram_micros").and_then(levioso_support::Histogram::from_json)
+        else {
+            sfail("`histogram_micros` missing or malformed")
+        };
+        if h.count() != count as u64 {
+            sfail(&format!("histogram count {} disagrees with `count` {count}", h.count()));
+        }
+    }
+    if selector_count != requests.len() as i64 {
+        fail(&format!(
+            "selector counts sum to {selector_count} but the book records {} request(s)",
+            requests.len()
+        ));
+    }
     match (cold, warm) {
         (Some(c), Some(w)) => println!(
             "serve latency: {} request(s); smoke-check cold {c:.3}s -> warm {w:.3}s ({:.1}% of cold)",
@@ -211,5 +254,54 @@ fn check_serve_latency() {
         requests.len(),
         cold.map_or("null".to_string(), |c| format!("{c:.3}")),
         warm.map_or("null".to_string(), |w| format!("{w:.3}")),
+    );
+}
+
+/// Validates `results/METRICS_run.json` if a run mirrored one. Absence is
+/// fine (pre-telemetry snapshots); a present file must carry the schema
+/// tag, u64-parsable counters, and well-formed timer histograms.
+fn check_metrics_run() {
+    let path = util::results_dir().join("METRICS_run.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let fail = |reason: &str| -> ! {
+        eprintln!("perfcheck: {}: {reason}", path.display());
+        exit(1);
+    };
+    let Ok(doc) = Json::parse(&text) else { fail("not valid JSON") };
+    if doc.get("schema").and_then(Json::as_str) != Some("levioso-metrics/1") {
+        fail("missing or unknown schema field (expected levioso-metrics/1)");
+    }
+    let obj = |key: &str| -> &Vec<(String, Json)> {
+        match doc.get(key) {
+            Some(Json::Obj(entries)) => entries,
+            _ => fail(&format!("missing or non-object field `{key}`")),
+        }
+    };
+    let counters = obj("counters");
+    for (name, value) in counters {
+        if value.as_str().is_none_or(|s| s.parse::<u64>().is_err()) {
+            fail(&format!("counter `{name}` is not a u64-in-string"));
+        }
+    }
+    let gauges = obj("gauges");
+    for (name, value) in gauges {
+        if value.as_i64().is_none() {
+            fail(&format!("gauge `{name}` is not an integer"));
+        }
+    }
+    let timers = obj("timers");
+    for (name, value) in timers {
+        if levioso_support::Histogram::from_json(value).is_none() {
+            fail(&format!("timer `{name}` is not a parsable histogram"));
+        }
+    }
+    println!(
+        "METRICS counters={} gauges={} timers={} enabled={}",
+        counters.len(),
+        gauges.len(),
+        timers.len(),
+        doc.get("enabled").and_then(Json::as_bool).map_or("null".to_string(), |b| b.to_string()),
     );
 }

@@ -8,11 +8,13 @@
 mod util;
 
 fn main() {
+    let start = std::time::Instant::now();
     let opts = util::Opts::parse(false, false);
     let report = levioso_bench::noninterference_report(opts.tier, opts.threads.unwrap_or(0));
     util::emit(&opts, "table4_noninterference", &report.render(), Some(report.to_json()));
     let fingerprint = levioso_nisec::cellcache::with(|c| c.fingerprint().to_string());
     println!("{}", levioso_nisec::cellcache::report().summary(&fingerprint));
+    util::finish(start);
     let failures = report.gate_failures();
     if !failures.is_empty() {
         for f in &failures {

@@ -41,7 +41,13 @@ const CELL_FORMAT: u32 = 1;
 
 fn handle() -> &'static RwLock<TieredCache> {
     static CACHE: OnceLock<RwLock<TieredCache>> = OnceLock::new();
-    CACHE.get_or_init(|| RwLock::new(TieredCache::plain(Cache::from_env(core_fingerprint()))))
+    CACHE.get_or_init(|| {
+        // The environment-configured process cache feeds the telemetry
+        // registry under `{cache=bench}`; caches installed later via
+        // `configure` (tests, --no-cache) keep detached counters so
+        // per-instance reports stay isolated.
+        RwLock::new(TieredCache::plain(Cache::from_env(core_fingerprint())).with_metrics("bench"))
+    })
 }
 
 /// Replaces the process-global cache with a plain disk-only store (tests

@@ -156,6 +156,26 @@ pub fn throughput_json(
     )
 }
 
+/// Renders the one end-of-run summary line every fig/table binary prints
+/// to stderr (asserted verbatim by `tests/cli.rs`). Fed from the
+/// telemetry registry: `cells` is the `sweep_cells_total` counter, the
+/// cache split combines the bench and nisec cell caches (whose reports
+/// read the registered `sweep_cache_*` counters), and only `wall_seconds`
+/// comes from the caller.
+pub fn run_summary(wall_seconds: f64) -> String {
+    let cells = levioso_support::metrics::counter_value("sweep_cells_total", &[]);
+    let bench = crate::cellcache::report();
+    let nisec = levioso_nisec::cellcache::report();
+    let l1 = bench.l1_hits + nisec.l1_hits;
+    let l2 = (bench.hits - bench.l1_hits) + (nisec.hits - nisec.l1_hits);
+    format!(
+        "run-summary: cells={cells} l1_hits={l1} l2_hits={l2} misses={} poisoned={} \
+         wall_seconds={wall_seconds:.3}",
+        bench.misses + nisec.misses,
+        bench.poisoned + nisec.poisoned,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

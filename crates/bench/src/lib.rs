@@ -99,7 +99,7 @@ pub fn run_workload(w: &Workload, scheme: Scheme, config: &CoreConfig) -> SimSta
 
 /// Parses a `LEVIOSO_TRACE` value: unset or empty means off, `null` means
 /// the null-sink A/B mode, anything else is an error. Rejecting unknown
-/// values matters because this variable changes what `scripts/perf.sh --ab`
+/// values matters because this variable changes what `scripts/perf.sh --ab-trace`
 /// measures — a typo (`LEVIOSO_TRACE=nulll`) silently measuring the wrong
 /// thing is worse than a crash.
 fn parse_trace_env(value: Option<&str>) -> Result<bool, String> {
@@ -114,7 +114,7 @@ fn parse_trace_env(value: Option<&str>) -> Result<bool, String> {
 
 /// Whether `LEVIOSO_TRACE=null` asked every [`run_workload`] cell to run
 /// with a [`levioso_uarch::NullSink`] attached. Used by
-/// `scripts/perf.sh --ab` to measure the hook overhead with the
+/// `scripts/perf.sh --ab-trace` to measure the hook overhead with the
 /// tracing branches *taken*; results are unchanged either way (the null
 /// sink observes but never perturbs).
 ///

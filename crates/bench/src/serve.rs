@@ -18,9 +18,19 @@
 //! tier) never feed the busy-time meter, and the server's
 //! `BENCH_sim_throughput.json` snapshots carry the *cumulative*
 //! cross-request split so `perfcheck`'s `cells == misses` invariant keeps
-//! holding. Request latencies are recorded in
-//! `results/BENCH_serve_latency.json` (`levioso-serve-latency/1`),
-//! distinguishing the cold first smoke-check from warm replays.
+//! holding.
+//!
+//! Telemetry: the cell caches count cumulatively into the process-global
+//! metrics registry (never reset mid-serve); each request's `l1/l2/miss`
+//! split is the *delta* of those counters across its execution, so the
+//! registry snapshot reconciles exactly with the sum of per-response
+//! splits. Request latencies land in per-selector [`Histogram`]s
+//! (`results/BENCH_serve_latency.json`, `levioso-serve-latency/2`, with
+//! p50/p95/p99), requests are counted by selector and outcome, and the
+//! full `levioso-metrics/1` snapshot is mirrored to
+//! `results/METRICS_run.json` after every request. The `status` selector
+//! returns uptime, fingerprint, and that snapshot inline — `levtop`
+//! polls it to render the live dashboard.
 //!
 //! Failure discipline: a malformed request file, an unknown selector, or
 //! a core-fingerprint mismatch produces an *error response file*, never a
@@ -29,12 +39,20 @@
 
 use crate::{cellcache, cli, gate, throughput, Sweep, Tier};
 use levioso_support::jobdir::{self, CacheSplit, Request, Response};
-use levioso_support::Json;
+use levioso_support::{metrics, Histogram, Json};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Selector that asks the server to answer and then exit cleanly.
 pub const SHUTDOWN_SELECTOR: &str = "shutdown";
+
+/// Selector that returns the server's introspection document
+/// (`levioso-serve-status/1`) instead of a sweep report.
+pub const STATUS_SELECTOR: &str = "status";
+
+/// Schema tag of the `status` selector's report document.
+pub const STATUS_SCHEMA: &str = "levioso-serve-status/1";
 
 /// Outcome of one poll pass over the job directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,16 +65,31 @@ pub enum Poll {
     Shutdown,
 }
 
-/// Cumulative cross-request cache accounting, kept outside the per-request
-/// counter resets so the throughput snapshot stays consistent with the
-/// never-reset busy-time meter.
+/// High-water marks of one cache's cumulative counters, for computing a
+/// request's delta split without ever resetting the counters (resets
+/// would desynchronize the telemetry registry from the per-response
+/// splits and from the never-reset busy meter).
 #[derive(Debug, Default, Clone, Copy)]
-struct Totals {
+struct CacheMark {
     hits: u64,
     l1_hits: u64,
     misses: u64,
-    poisoned: u64,
-    stores: u64,
+}
+
+impl CacheMark {
+    fn of(report: &levioso_support::CacheReport) -> CacheMark {
+        CacheMark { hits: report.hits, l1_hits: report.l1_hits, misses: report.misses }
+    }
+
+    /// The counter movement since `self`, as the request's tier split.
+    fn delta(&self, now: &CacheMark) -> CacheSplit {
+        let l1 = now.l1_hits.saturating_sub(self.l1_hits);
+        CacheSplit {
+            l1_hits: l1,
+            l2_hits: now.hits.saturating_sub(self.hits).saturating_sub(l1),
+            misses: now.misses.saturating_sub(self.misses),
+        }
+    }
 }
 
 /// One served request's latency-book entry.
@@ -72,13 +105,19 @@ struct Served {
 }
 
 /// The serve loop's state: start time (the stale-request cutoff), the
-/// latency book, and the cumulative cache totals.
+/// latency book, and the per-cache counter marks.
 #[derive(Debug)]
 pub struct Server {
     started: SystemTime,
     process_start: Instant,
-    totals: Totals,
     book: Vec<Served>,
+    /// Per-selector wall-clock distributions in microseconds. Recorded
+    /// unconditionally (they feed the latency book, a results artifact,
+    /// not optional telemetry); mirrored into the registry's
+    /// `serve_request_micros{selector=...}` timers when metrics are on.
+    latency: BTreeMap<String, Histogram>,
+    bench_mark: CacheMark,
+    nisec_mark: CacheMark,
     /// Wall-clock of the first executed `check` request (the cold,
     /// cache-filling one) and of the most recent one after it (warm).
     cold_check_seconds: Option<f64>,
@@ -95,14 +134,42 @@ impl Default for Server {
     }
 }
 
+/// Maps a request's selector onto a bounded label set for the
+/// `serve_requests_total` counter: known selectors pass through, anything
+/// client-supplied and unrecognized collapses to `(unknown)` so a
+/// misbehaving client cannot grow the registry without bound.
+fn selector_label(selector: &str) -> &str {
+    match selector {
+        "check" | "table1_config" | "table2_security" | "table3_annotation" | "table4"
+        | STATUS_SELECTOR | SHUTDOWN_SELECTOR => selector,
+        id if gate::SHAPE_IDS.contains(&id) => id,
+        _ => "(unknown)",
+    }
+}
+
+/// Bumps `serve_requests_total{selector=...,outcome=...}` (when metrics
+/// are on). `selector` must already be label-safe (pass it through
+/// [`selector_label`], or use the `(invalid)` sentinel for requests that
+/// never parsed far enough to have one).
+fn count_request(selector: &str, outcome: &str) {
+    if metrics::enabled() {
+        metrics::counter("serve_requests_total", &[("selector", selector), ("outcome", outcome)])
+            .inc();
+    }
+}
+
 impl Server {
     /// A server whose stale-request cutoff is "now".
     pub fn new() -> Server {
+        let bench = cellcache::report();
+        let nisec = levioso_nisec::cellcache::report();
         Server {
             started: SystemTime::now(),
             process_start: Instant::now(),
-            totals: Totals::default(),
             book: Vec::new(),
+            latency: BTreeMap::new(),
+            bench_mark: CacheMark::of(&bench),
+            nisec_mark: CacheMark::of(&nisec),
             cold_check_seconds: None,
             warm_check_seconds: None,
             last_tier: Tier::Smoke,
@@ -126,6 +193,9 @@ impl Server {
                     "==> skipping stale request {id} (older than server start; its client \
                      predates this server)"
                 );
+                if metrics::enabled() {
+                    metrics::counter("serve_stale_skips_total", &[]).inc();
+                }
                 let _ = std::fs::remove_file(&path);
                 handled += 1;
                 continue;
@@ -159,6 +229,7 @@ impl Server {
             Ok(req) => req,
             Err(reason) => {
                 eprintln!("==> request {id}: {reason}");
+                count_request("(invalid)", "error");
                 respond(dir, &Response::err(id, reason, 0.0));
                 return Poll::Handled(1);
             }
@@ -169,6 +240,7 @@ impl Server {
             let reason =
                 format!("request id {:?} does not match its filename id {id:?}", request.id);
             eprintln!("==> request {id}: {reason}");
+            count_request(selector_label(&request.selector), "error");
             respond(dir, &Response::err(id, reason, 0.0));
             return Poll::Handled(1);
         }
@@ -180,15 +252,35 @@ impl Server {
                 request.fingerprint
             );
             eprintln!("==> request {id}: {reason}");
+            if metrics::enabled() {
+                metrics::counter("serve_fingerprint_refusals_total", &[]).inc();
+            }
+            count_request(selector_label(&request.selector), "error");
             respond(dir, &Response::err(id, reason, 0.0));
             return Poll::Handled(1);
         }
         if request.selector == SHUTDOWN_SELECTOR {
             eprintln!("==> request {id}: shutdown");
+            count_request(SHUTDOWN_SELECTOR, "ok");
             respond(dir, &Response::ok(id, 0, String::new(), 0.0, CacheSplit::default()));
             return Poll::Shutdown;
         }
+        let inflight = metrics::enabled().then(|| metrics::gauge("serve_inflight", &[]));
+        if let Some(g) = &inflight {
+            g.add(1);
+        }
         let response = self.execute(&request);
+        if let Some(g) = &inflight {
+            g.add(-1);
+        }
+        let outcome = if !response.ok {
+            "error"
+        } else if response.status == 0 {
+            "ok"
+        } else {
+            "gate_failed"
+        };
+        count_request(selector_label(&request.selector), outcome);
         eprintln!(
             "==> request {id}: {} ({} tier, {} thread(s)) -> status {} in {:.3}s \
              [l1 {} / l2 {} / miss {}]",
@@ -218,8 +310,6 @@ impl Server {
             );
         };
         let sweep = Sweep::new(request.threads);
-        cellcache::reset_counters();
-        levioso_nisec::cellcache::reset_counters();
         let start = Instant::now();
         let (status, report) = match request.selector.as_str() {
             "check" => {
@@ -232,6 +322,7 @@ impl Server {
                 let status = i64::from(!(report.is_clean() && violations.is_empty()));
                 (status, report.render())
             }
+            STATUS_SELECTOR => (0, self.status_report()),
             "table1_config" => (0, format!("{}\n", crate::config_table().render())),
             "table2_security" => (0, format!("{}\n", crate::security_table().render())),
             "table3_annotation" => {
@@ -264,7 +355,7 @@ impl Server {
                     format!(
                         "unknown selector {other:?}: expected \"check\", \"table1_config\", \
                          \"table2_security\", \"table3_annotation\", \"table4\", a shape figure \
-                         id, or \"{SHUTDOWN_SELECTOR}\""
+                         id, \"{STATUS_SELECTOR}\", or \"{SHUTDOWN_SELECTOR}\""
                     ),
                     0.0,
                 );
@@ -275,32 +366,50 @@ impl Server {
         Response::ok(&request.id, status, report, wall, cache)
     }
 
-    /// Folds one executed request into the latency book and the cumulative
-    /// totals, then refreshes both results files.
+    /// The `status` selector's report: uptime, core fingerprint, request
+    /// count so far (this request not yet included — it is accounted
+    /// after its report is rendered), and the full metrics snapshot.
+    fn status_report(&self) -> String {
+        let doc = Json::obj([
+            ("schema", Json::str(STATUS_SCHEMA)),
+            ("fingerprint", Json::str(levioso_uarch::core_fingerprint())),
+            ("uptime_seconds", Json::F64(self.process_start.elapsed().as_secs_f64())),
+            ("requests_served", Json::I64(self.book.len().min(i64::MAX as usize) as i64)),
+            ("metrics", metrics::snapshot()),
+        ]);
+        format!("{}\n", doc.emit_pretty())
+    }
+
+    /// Folds one executed request into the latency book and advances the
+    /// cache marks, then refreshes the results artifacts.
     fn account(&mut self, request: &Request, tier: Tier, status: i64, wall: f64) -> CacheSplit {
-        let bench = cellcache::report();
-        let nisec = levioso_nisec::cellcache::report();
+        let bench_now = CacheMark::of(&cellcache::report());
+        let nisec_now = CacheMark::of(&levioso_nisec::cellcache::report());
+        let bench = self.bench_mark.delta(&bench_now);
+        let nisec = self.nisec_mark.delta(&nisec_now);
+        self.bench_mark = bench_now;
+        self.nisec_mark = nisec_now;
+        // The response split covers both caches (it answers "what I/O did
+        // this request do"). The throughput snapshot keeps tracking only
+        // the bench cache: nisec cells never feed the busy-time meter, so
+        // adding nisec misses would break `cells == misses`.
         let cache = CacheSplit {
             l1_hits: bench.l1_hits + nisec.l1_hits,
-            l2_hits: (bench.hits - bench.l1_hits) + (nisec.hits - nisec.l1_hits),
+            l2_hits: bench.l2_hits + nisec.l2_hits,
             misses: bench.misses + nisec.misses,
         };
-        // The response split covers both caches (it answers "what I/O did
-        // this request do"), but the throughput snapshot's cumulative split
-        // tracks only the bench cache: nisec cells never feed the busy-time
-        // meter, and the one-shot `all` snapshot counts only bench too —
-        // adding nisec misses would break `cells == misses`.
-        self.totals.hits += bench.hits;
-        self.totals.l1_hits += bench.l1_hits;
-        self.totals.misses += bench.misses;
-        self.totals.poisoned += bench.poisoned;
-        self.totals.stores += bench.stores;
         if request.selector == "check" {
             if self.cold_check_seconds.is_none() {
                 self.cold_check_seconds = Some(wall);
             } else {
                 self.warm_check_seconds = Some(wall);
             }
+        }
+        let selector = selector_label(&request.selector);
+        let micros = (wall * 1e6).round().max(0.0) as u64;
+        self.latency.entry(selector.to_string()).or_default().record(micros);
+        if metrics::enabled() {
+            metrics::timer("serve_request_micros", &[("selector", selector)]).record(micros);
         }
         self.book.push(Served {
             id: request.id.clone(),
@@ -315,10 +424,14 @@ impl Server {
         self.last_threads = request.threads;
         self.write_latency();
         self.write_throughput();
+        write_results_file("METRICS_run.json", metrics::snapshot_text());
         cache
     }
 
-    /// The `results/BENCH_serve_latency.json` document.
+    /// The `results/BENCH_serve_latency.json` document
+    /// (`levioso-serve-latency/2`): the cold/warm check pair, the full
+    /// per-request book, and per-selector latency distributions with
+    /// p50/p95/p99 (seconds, from the microsecond histograms).
     fn latency_json(&self) -> Json {
         fn secs(v: Option<f64>) -> Json {
             v.map_or(Json::Null, Json::F64)
@@ -338,42 +451,49 @@ impl Server {
                 ])
             })
             .collect();
+        let selectors: Vec<(String, Json)> = self
+            .latency
+            .iter()
+            .map(|(selector, h)| {
+                let q = |q: f64| Json::F64(h.quantile_hi(q) as f64 / 1e6);
+                let doc = Json::obj([
+                    ("count", Json::I64(h.count().min(i64::MAX as u64) as i64)),
+                    ("p50_seconds", q(0.50)),
+                    ("p95_seconds", q(0.95)),
+                    ("p99_seconds", q(0.99)),
+                    ("histogram_micros", h.to_json()),
+                ]);
+                (selector.clone(), doc)
+            })
+            .collect();
         Json::obj([
-            ("schema", Json::str("levioso-serve-latency/1")),
+            ("schema", Json::str("levioso-serve-latency/2")),
             ("cold_request_seconds", secs(self.cold_check_seconds)),
             ("warm_request_seconds", secs(self.warm_check_seconds)),
+            ("selectors", Json::Obj(selectors)),
             ("requests", Json::Arr(requests)),
         ])
     }
 
     fn write_latency(&self) {
-        let dir = cli::results_dir();
-        let path = dir.join("BENCH_serve_latency.json");
-        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
-            std::fs::write(&path, format!("{}\n", self.latency_json().emit_pretty()))
-        }) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
+        write_results_file(
+            "BENCH_serve_latency.json",
+            format!("{}\n", self.latency_json().emit_pretty()),
+        );
     }
 
-    /// Mirrors the one-shot driver's throughput snapshot, but with the
-    /// cumulative cross-request cache split (per-request counter resets
-    /// would otherwise desynchronize it from the never-reset busy meter
-    /// and trip `perfcheck`'s `cells == misses` invariant).
+    /// Mirrors the one-shot driver's throughput snapshot with the
+    /// cumulative cross-request cache split — read straight off the
+    /// never-reset bench cache counters, the same atomics the metrics
+    /// snapshot exports, so `BENCH_sim_throughput.json`, the `status`
+    /// snapshot, and the summed per-response splits all reconcile.
     fn write_throughput(&self) {
         let t = throughput::snapshot();
         let path = cli::results_dir().join("BENCH_sim_throughput.json");
         let baseline = std::fs::read_to_string(&path)
             .ok()
             .and_then(|old| cli::json_object_field(&old, "baseline"));
-        let report = levioso_support::CacheReport {
-            hits: self.totals.hits,
-            l1_hits: self.totals.l1_hits,
-            misses: self.totals.misses,
-            poisoned: self.totals.poisoned,
-            stores: self.totals.stores,
-            miss_labels: vec![],
-        };
+        let report = cellcache::report();
         let json = cli::throughput_json(
             &t,
             self.last_tier,
@@ -388,6 +508,15 @@ impl Server {
         {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
+    }
+}
+
+/// Writes one results-dir artifact, logging (not crashing) on failure.
+fn write_results_file(name: &str, contents: String) {
+    let dir = cli::results_dir();
+    let path = dir.join(name);
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 

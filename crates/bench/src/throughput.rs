@@ -12,31 +12,54 @@
 //! `results/BENCH_sim_throughput.json`, the PR-over-PR throughput
 //! trajectory of the simulator core (see DESIGN.md "Hot path &
 //! performance model").
+//!
+//! The counters themselves live in the telemetry registry
+//! (`levioso_support::metrics`, names `sweep_*_total`): one set of
+//! atomics feeds both this module's [`snapshot`] and the
+//! `levioso-metrics/1` document, so the throughput-honesty invariant
+//! (`cells == misses` under an enabled cache) is checkable against
+//! either source. Recording is *not* gated on `LEVIOSO_METRICS` — the
+//! meter is load-bearing (perfcheck fails a run with no recorded work).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use levioso_support::metrics::{self, Counter};
+use std::sync::OnceLock;
 use std::time::Duration;
 
-static CELLS: AtomicU64 = AtomicU64::new(0);
-static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
-static RETIRED: AtomicU64 = AtomicU64::new(0);
-static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+struct Meters {
+    cells: Counter,
+    sim_cycles: Counter,
+    retired: Counter,
+    busy_nanos: Counter,
+}
+
+fn meters() -> &'static Meters {
+    static METERS: OnceLock<Meters> = OnceLock::new();
+    METERS.get_or_init(|| Meters {
+        cells: metrics::counter("sweep_cells_total", &[]),
+        sim_cycles: metrics::counter("sweep_sim_cycles_total", &[]),
+        retired: metrics::counter("sweep_retired_instrs_total", &[]),
+        busy_nanos: metrics::counter("sweep_busy_nanos_total", &[]),
+    })
+}
 
 /// Records one finished simulation cell. Called from inside the sweep
 /// worker so `busy` reflects that cell's host time regardless of how many
 /// cells ran concurrently.
 pub fn record(sim_cycles: u64, retired: u64, busy: Duration) {
-    CELLS.fetch_add(1, Ordering::Relaxed);
-    SIM_CYCLES.fetch_add(sim_cycles, Ordering::Relaxed);
-    RETIRED.fetch_add(retired, Ordering::Relaxed);
-    BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    let m = meters();
+    m.cells.inc();
+    m.sim_cycles.add(sim_cycles);
+    m.retired.add(retired);
+    m.busy_nanos.add(busy.as_nanos() as u64);
 }
 
 /// Zeroes all counters (tests; the binaries snapshot once at exit).
 pub fn reset() {
-    CELLS.store(0, Ordering::Relaxed);
-    SIM_CYCLES.store(0, Ordering::Relaxed);
-    RETIRED.store(0, Ordering::Relaxed);
-    BUSY_NANOS.store(0, Ordering::Relaxed);
+    let m = meters();
+    m.cells.reset();
+    m.sim_cycles.reset();
+    m.retired.reset();
+    m.busy_nanos.reset();
 }
 
 /// A point-in-time snapshot of the global throughput counters.
@@ -85,11 +108,12 @@ fn per_sec(amount: f64, busy_nanos: u64) -> f64 {
 
 /// Reads the current counter values.
 pub fn snapshot() -> Throughput {
+    let m = meters();
     Throughput {
-        cells: CELLS.load(Ordering::Relaxed),
-        sim_cycles: SIM_CYCLES.load(Ordering::Relaxed),
-        retired: RETIRED.load(Ordering::Relaxed),
-        busy_nanos: BUSY_NANOS.load(Ordering::Relaxed),
+        cells: m.cells.get(),
+        sim_cycles: m.sim_cycles.get(),
+        retired: m.retired.get(),
+        busy_nanos: m.busy_nanos.get(),
     }
 }
 

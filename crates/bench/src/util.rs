@@ -177,6 +177,15 @@ pub fn emit(opts: &Opts, id: &str, rendered: &str, json: Option<String>) {
     }
 }
 
+/// Prints the unified end-of-run summary line (cells, cache split,
+/// wall-clock — see [`levioso_bench::cli::run_summary`]) to stderr, so
+/// stdout report bytes stay identical with or without it. Every
+/// fig/table binary calls this last, with the `Instant` it captured at
+/// entry.
+pub fn finish(start: std::time::Instant) {
+    eprintln!("{}", levioso_bench::cli::run_summary(start.elapsed().as_secs_f64()));
+}
+
 /// When `--attrib` was given: runs the delay-attribution report for
 /// `schemes` over the tier's workload suite (default core config) and
 /// emits it as `ATTRIB_<id>` next to the binary's main report.

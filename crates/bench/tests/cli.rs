@@ -16,6 +16,8 @@ const BINARIES: &[&str] = &[
     env!("CARGO_BIN_EXE_fig3_ablation"),
     env!("CARGO_BIN_EXE_fig4_rob_sweep"),
     env!("CARGO_BIN_EXE_fig5_mem_sweep"),
+    env!("CARGO_BIN_EXE_fig6_transient_fills"),
+    env!("CARGO_BIN_EXE_fig7_hint_budget"),
     env!("CARGO_BIN_EXE_table1_config"),
     env!("CARGO_BIN_EXE_table2_security"),
     env!("CARGO_BIN_EXE_table3_annotation"),
@@ -64,6 +66,74 @@ fn resume_with_env_disabled_cache_message_is_shared_verbatim() {
             short_name(bin)
         );
     }
+}
+
+/// Spawns `bin` at smoke tier against the given cache/results dirs and
+/// returns its one `run-summary:` stderr line.
+fn summary_line(bin: &str, base: &std::path::Path) -> String {
+    let out = Command::new(bin)
+        .args(["--smoke", "--quiet", "--threads", "1"])
+        .env("LEVIOSO_SWEEP_CACHE_DIR", base.join("cache"))
+        .env("LEVIOSO_RESULTS_DIR", base.join("results"))
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{}: {stderr}", short_name(bin));
+    let lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with("run-summary: ")).collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "{}: expected exactly one run-summary line, stderr: {stderr}",
+        short_name(bin)
+    );
+    lines[0].to_string()
+}
+
+/// Parses `key=<u64>` out of a run-summary line.
+fn summary_field(line: &str, key: &str) -> u64 {
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key} in {line}: {e}"))
+}
+
+#[test]
+fn run_summary_line_is_shared_and_fed_from_the_registry() {
+    let base = std::env::temp_dir().join(format!("levioso-cli-summary-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create temp dir");
+
+    // A table binary runs no sweep: every counter is zero, and the line's
+    // shape is the one `levioso_bench::cli::run_summary` renders, verbatim.
+    let line = summary_line(env!("CARGO_BIN_EXE_table1_config"), &base);
+    assert!(
+        line.starts_with(
+            "run-summary: cells=0 l1_hits=0 l2_hits=0 misses=0 poisoned=0 wall_seconds="
+        ),
+        "{line}"
+    );
+    let wall: f64 = line.rsplit_once("wall_seconds=").expect("wall field").1.parse().expect("f64");
+    assert!(wall.is_finite() && wall >= 0.0);
+
+    // A cold figure run computes fresh cells: the registry's cell counter
+    // and the cache's miss counter agree (throughput honesty), no hits.
+    let cold = summary_line(env!("CARGO_BIN_EXE_fig1_motivation"), &base);
+    let cells = summary_field(&cold, "cells");
+    assert!(cells > 0, "{cold}");
+    assert_eq!(cells, summary_field(&cold, "misses"), "{cold}");
+    assert_eq!(summary_field(&cold, "l1_hits") + summary_field(&cold, "l2_hits"), 0, "{cold}");
+
+    // The same run against the now-warm disk cache: every cell is an L2
+    // hit, nothing recomputes — the summary reads the same atomics the
+    // telemetry snapshot exports.
+    let warm = summary_line(env!("CARGO_BIN_EXE_fig1_motivation"), &base);
+    assert_eq!(summary_field(&warm, "cells"), 0, "{warm}");
+    assert_eq!(summary_field(&warm, "misses"), 0, "{warm}");
+    assert_eq!(summary_field(&warm, "l2_hits"), cells, "{warm}");
+
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

@@ -259,6 +259,61 @@ fn served_smoke_check_is_byte_identical_to_the_cold_cli_and_warms_the_memory_tie
     let (_, _, t4_misses) = levq_split(&t4);
     assert!(t4_misses > 0, "a cold nisec campaign must compute fresh cells");
 
+    // Request 5: `status`. The introspection document must reconcile
+    // *exactly* with the sum of the per-response cache splits — the
+    // registry counters and the response deltas are the same atomics.
+    let status = levq(&jobs, &["status", "--smoke", "--id", "req5-status"]);
+    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    let status_doc =
+        Json::parse(&String::from_utf8_lossy(&status.stdout)).expect("status report is JSON");
+    assert_eq!(
+        status_doc.get("schema").and_then(Json::as_str),
+        Some(levioso_bench::serve::STATUS_SCHEMA)
+    );
+    assert_eq!(
+        status_doc.get("fingerprint").and_then(Json::as_str),
+        Some(levioso_uarch::core_fingerprint().as_str()),
+        "status reports the serving core's fingerprint"
+    );
+    assert!(
+        status_doc.get("uptime_seconds").and_then(Json::as_f64).expect("uptime") > 0.0,
+        "uptime must be positive"
+    );
+    assert_eq!(
+        status_doc.get("requests_served").and_then(Json::as_i64),
+        Some(4),
+        "four requests executed before this status request"
+    );
+    let counter = |name: &str| -> u64 {
+        status_doc
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_str)
+            .map_or(0, |s| s.parse().expect("counter value parses as u64"))
+    };
+    let both = |stem: &str| -> u64 {
+        counter(&format!("{stem}{{cache=bench}}")) + counter(&format!("{stem}{{cache=nisec}}"))
+    };
+    let splits = [levq_split(&cold), levq_split(&warm), levq_split(&table), levq_split(&t4)];
+    let summed = splits.iter().fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
+    assert_eq!(
+        (
+            both("sweep_cache_l1_hits_total"),
+            both("sweep_cache_l2_hits_total"),
+            both("sweep_cache_misses_total"),
+        ),
+        summed,
+        "the registry snapshot must reconcile exactly with the summed per-response splits"
+    );
+    assert_eq!(
+        counter("serve_requests_total{outcome=ok,selector=check}"),
+        2,
+        "both check requests counted ok"
+    );
+    assert_eq!(counter("serve_requests_total{outcome=ok,selector=table1_config}"), 1);
+    assert_eq!(counter("serve_requests_total{outcome=ok,selector=table4}"), 1);
+
     // The cold CLI at 8 threads, against its own fresh cache: its stdout
     // begins with exactly the bytes the server served.
     let cli = Command::new(env!("CARGO_BIN_EXE_all"))
@@ -282,12 +337,31 @@ fn served_smoke_check_is_byte_identical_to_the_cold_cli_and_warms_the_memory_tie
     let latency =
         std::fs::read_to_string(results.join("BENCH_serve_latency.json")).expect("latency book");
     let doc = Json::parse(&latency).expect("latency book is JSON");
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("levioso-serve-latency/1"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("levioso-serve-latency/2"));
     let cold_s = doc.get("cold_request_seconds").and_then(Json::as_f64).expect("cold seconds");
     let warm_s = doc.get("warm_request_seconds").and_then(Json::as_f64).expect("warm seconds");
     assert!(cold_s > 0.0 && warm_s > 0.0);
     let entries = doc.get("requests").and_then(Json::as_arr).expect("requests array");
-    assert_eq!(entries.len(), 4, "four executed requests in the book");
+    assert_eq!(entries.len(), 5, "five executed requests in the book");
+    // Per-selector latency distributions: both check requests share one
+    // histogram, and the percentile fields are ordered.
+    let selectors = doc.get("selectors").expect("selectors object");
+    let check = selectors.get("check").expect("check selector entry");
+    assert_eq!(check.get("count").and_then(Json::as_i64), Some(2));
+    let p50 = check.get("p50_seconds").and_then(Json::as_f64).expect("p50");
+    let p95 = check.get("p95_seconds").and_then(Json::as_f64).expect("p95");
+    let p99 = check.get("p99_seconds").and_then(Json::as_f64).expect("p99");
+    assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    assert_eq!(
+        selectors.get("status").and_then(|s| s.get("count")).and_then(Json::as_i64),
+        Some(1),
+        "the status request itself lands in the latency book"
+    );
+
+    // Every accounted request refreshes the metrics mirror.
+    let mirror = std::fs::read_to_string(results.join("METRICS_run.json")).expect("metrics mirror");
+    let mirror = Json::parse(&mirror).expect("metrics mirror is JSON");
+    assert_eq!(mirror.get("schema").and_then(Json::as_str), Some("levioso-metrics/1"));
 
     // The throughput snapshot keeps perfcheck's invariants across the
     // whole serve session: busy samples only from fresh cells, and the
@@ -318,10 +392,10 @@ fn served_smoke_check_is_byte_identical_to_the_cold_cli_and_warms_the_memory_tie
         String::from_utf8_lossy(&pc.stderr)
     );
     let pc_stdout = String::from_utf8_lossy(&pc.stdout);
-    assert!(pc_stdout.contains("SERVE requests=4"), "{pc_stdout}");
+    assert!(pc_stdout.contains("SERVE requests=5"), "{pc_stdout}");
 
     // Clean shutdown via the protocol; the server exits 0.
-    let bye = levq(&jobs, &["shutdown", "--id", "req5-bye"]);
+    let bye = levq(&jobs, &["shutdown", "--id", "req6-bye"]);
     assert!(bye.status.success(), "{}", String::from_utf8_lossy(&bye.stderr));
     let deadline = Instant::now() + Duration::from_secs(30);
     let code = loop {

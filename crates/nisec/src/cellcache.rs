@@ -33,7 +33,12 @@ const CELL_FORMAT: u32 = 1;
 
 fn handle() -> &'static RwLock<TieredCache> {
     static CACHE: OnceLock<RwLock<TieredCache>> = OnceLock::new();
-    CACHE.get_or_init(|| RwLock::new(TieredCache::plain(Cache::from_env(core_fingerprint()))))
+    CACHE.get_or_init(|| {
+        // Environment-configured process cache feeds the telemetry
+        // registry under `{cache=nisec}`; `configure`d replacements
+        // (tests, --no-cache) keep detached counters.
+        RwLock::new(TieredCache::plain(Cache::from_env(core_fingerprint())).with_metrics("nisec"))
+    })
 }
 
 /// Replaces the process-global cache with a plain disk-only store (tests

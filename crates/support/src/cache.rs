@@ -33,9 +33,9 @@
 //!   byte-identical by construction.
 
 use crate::json::Json;
+use crate::metrics;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Envelope schema tag; bump if the on-disk layout changes.
@@ -118,13 +118,41 @@ impl CacheReport {
     }
 }
 
+/// The cache's counters are [`metrics::Counter`] handles. A fresh cache
+/// gets detached counters (private, per-instance — what every test and
+/// ad-hoc cache sees); [`Cache::with_metrics`] swaps in counters
+/// registered in the global telemetry registry, so the process-wide
+/// caches feed [`CacheReport`] and the `levioso-metrics/1` snapshot
+/// from the *same* atomics. `heals` (stores that replaced an existing
+/// envelope — the poison-recovery path) is telemetry-only and not part
+/// of [`CacheReport`].
 #[derive(Debug, Default)]
 struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    poisoned: AtomicU64,
-    stores: AtomicU64,
+    hits: metrics::Counter,
+    misses: metrics::Counter,
+    poisoned: metrics::Counter,
+    stores: metrics::Counter,
+    heals: metrics::Counter,
     miss_labels: Mutex<Vec<String>>,
+}
+
+impl Counters {
+    /// Counters registered in the global registry under
+    /// `sweep_cache_*_total{cache=<domain>}`. Disk hits register as
+    /// `l2_hits`: the on-disk cache is the L2 tier under
+    /// [`crate::memcache::TieredCache`], and a standalone disk cache is
+    /// just an L2 with no L1 above it.
+    fn registered(domain: &str) -> Counters {
+        let labels = [("cache", domain)];
+        Counters {
+            hits: metrics::counter("sweep_cache_l2_hits_total", &labels),
+            misses: metrics::counter("sweep_cache_misses_total", &labels),
+            poisoned: metrics::counter("sweep_cache_poisoned_total", &labels),
+            stores: metrics::counter("sweep_cache_stores_total", &labels),
+            heals: metrics::counter("sweep_cache_heals_total", &labels),
+            miss_labels: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// A content-addressed cell cache rooted at `root/<fingerprint>/`.
@@ -191,6 +219,19 @@ impl Cache {
         Cache::new(root, fingerprint)
     }
 
+    /// Rebinds the counters to the global telemetry registry under
+    /// `sweep_cache_*_total{cache=<domain>}` (consuming builder, applied
+    /// at construction of the process-wide caches). Registered counters
+    /// are shared by identity: every cache bound to the same domain —
+    /// and every [`CacheReport`] taken from one — reads the exact
+    /// atomics the `levioso-metrics/1` snapshot exports, which is what
+    /// lets a serve session's `status` snapshot reconcile against
+    /// per-response cache splits.
+    pub fn with_metrics(mut self, domain: &str) -> Cache {
+        self.counters = Arc::new(Counters::registered(domain));
+        self
+    }
+
     /// Whether lookups can ever hit.
     pub fn enabled(&self) -> bool {
         self.enabled
@@ -219,7 +260,7 @@ impl Cache {
     }
 
     fn count_miss(&self, label: &str) {
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
         self.counters.miss_labels.lock().expect("miss label lock").push(label.to_string());
     }
 
@@ -242,12 +283,12 @@ impl Cache {
         };
         match Self::validate_envelope(&text, input) {
             Ok(result) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.inc();
                 Some(result)
             }
             Err(poisoned) => {
                 if poisoned {
-                    self.counters.poisoned.fetch_add(1, Ordering::Relaxed);
+                    self.counters.poisoned.inc();
                 }
                 self.count_miss(label);
                 None
@@ -301,11 +342,14 @@ impl Cache {
             return;
         }
         let path = self.cell_path(input);
-        let tmp = dir.join(format!(
-            ".tmp-{}-{:x}",
-            std::process::id(),
-            self.counters.stores.fetch_add(1, Ordering::Relaxed)
-        ));
+        if path.exists() {
+            // Replacing an existing envelope: the recompute-after-poison
+            // (or racing-writer) path. Telemetry-only; the overwrite
+            // itself is an ordinary store.
+            self.counters.heals.inc();
+        }
+        let tmp =
+            dir.join(format!(".tmp-{}-{:x}", std::process::id(), self.counters.stores.fetch_inc()));
         if std::fs::write(&tmp, envelope.emit_pretty()).is_ok()
             && std::fs::rename(&tmp, &path).is_err()
         {
@@ -394,21 +438,22 @@ impl Cache {
         let mut miss_labels = self.counters.miss_labels.lock().expect("miss label lock").clone();
         miss_labels.sort();
         CacheReport {
-            hits: self.counters.hits.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
             l1_hits: 0,
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            poisoned: self.counters.poisoned.load(Ordering::Relaxed),
-            stores: self.counters.stores.load(Ordering::Relaxed),
+            misses: self.counters.misses.get(),
+            poisoned: self.counters.poisoned.get(),
+            stores: self.counters.stores.get(),
             miss_labels,
         }
     }
 
     /// Zeroes the counters (between phases of a multi-sweep process).
     pub fn reset_counters(&self) {
-        self.counters.hits.store(0, Ordering::Relaxed);
-        self.counters.misses.store(0, Ordering::Relaxed);
-        self.counters.poisoned.store(0, Ordering::Relaxed);
-        self.counters.stores.store(0, Ordering::Relaxed);
+        self.counters.hits.reset();
+        self.counters.misses.reset();
+        self.counters.poisoned.reset();
+        self.counters.stores.reset();
+        self.counters.heals.reset();
         self.counters.miss_labels.lock().expect("miss label lock").clear();
     }
 }
@@ -576,6 +621,25 @@ mod tests {
         let line = warm.summary("core-v1");
         assert!(line.contains("250 from hot tier"), "{line}");
         assert!(line.contains("316 lookups"), "{line}");
+    }
+
+    #[test]
+    fn registered_counters_feed_the_global_registry() {
+        // A unique domain keeps this test independent of anything else
+        // sharing the process-global registry.
+        let cache = Cache::new(tmpdir("registered"), "v1").with_metrics("cache_unit_test");
+        let labels = [("cache", "cache_unit_test")];
+        cache.lookup("cell", "input-a");
+        cache.store("cell", "input-a", &result_doc(1), 0);
+        cache.store("cell", "input-a", &result_doc(1), 0); // overwrite => heal
+        cache.lookup("cell", "input-a");
+        let r = cache.report();
+        assert_eq!((r.hits, r.misses, r.stores), (1, 1, 2));
+        // The report and the registry read the same atomics.
+        assert_eq!(metrics::counter_value("sweep_cache_l2_hits_total", &labels), 1);
+        assert_eq!(metrics::counter_value("sweep_cache_misses_total", &labels), 1);
+        assert_eq!(metrics::counter_value("sweep_cache_stores_total", &labels), 2);
+        assert_eq!(metrics::counter_value("sweep_cache_heals_total", &labels), 1);
     }
 
     #[test]

@@ -77,6 +77,17 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from raw bucket counts plus tracked sum
+    /// and max ([`crate::metrics`]'s atomic mirror snapshots through
+    /// this). The count is derived from the buckets, so the invariant
+    /// `count == Σ buckets` that [`Histogram::from_json`] enforces
+    /// holds by construction even if the source was mutating while the
+    /// buckets were read.
+    pub(crate) fn from_raw(buckets: [u64; BUCKETS], sum: u64, max: u64) -> Histogram {
+        let count = buckets.iter().fold(0u64, |acc, &n| acc.saturating_add(n));
+        Histogram { buckets, count, sum, max }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.record_n(value, 1);

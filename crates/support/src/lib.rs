@@ -17,6 +17,7 @@
 //! | [`memcache`] | — | an in-memory hot tier layered above [`cache`] for warm server processes |
 //! | [`jobdir`] | — | the job-directory request/response protocol for `all --serve` |
 //! | [`histogram`] | `hdrhistogram` | fixed-footprint log2-bucketed latency histograms |
+//! | [`metrics`] | `prometheus` | lock-free counters/gauges/timers with deterministic JSON snapshots |
 //!
 //! All randomness is deterministic: the same seed always reproduces the
 //! same stream, on every platform, so property tests and workload inputs
@@ -32,6 +33,7 @@ pub mod histogram;
 pub mod jobdir;
 pub mod json;
 pub mod memcache;
+pub mod metrics;
 pub mod pool;
 pub mod rng;
 
@@ -41,5 +43,6 @@ pub use check::{Config, Gen};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use memcache::TieredCache;
+pub use metrics::Registry;
 pub use pool::Pool;
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -37,8 +37,8 @@
 
 use crate::cache::{stable_hash_hex, Cache, CacheReport};
 use crate::json::Json;
+use crate::metrics;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One resident cell: the full input text (collision guard) and the
@@ -106,14 +106,25 @@ impl HotTier {
 pub struct TieredCache {
     disk: Cache,
     hot: Option<Arc<HotTier>>,
-    l1_hits: Arc<AtomicU64>,
+    /// Detached [`metrics::Counter`]s by default;
+    /// [`TieredCache::with_metrics`] swaps in registry-registered ones
+    /// (mirroring [`Cache::with_metrics`]) so the L1 split in reports
+    /// and the telemetry snapshot read the same atomics. `promotions`
+    /// (disk hits copied into the hot tier) is telemetry-only.
+    l1_hits: metrics::Counter,
+    promotions: metrics::Counter,
 }
 
 impl TieredCache {
     /// A tiered cache with **no** hot tier: behaves exactly like the disk
     /// cache it wraps (every `l1_hits` report field is zero).
     pub fn plain(disk: Cache) -> TieredCache {
-        TieredCache { disk, hot: None, l1_hits: Arc::new(AtomicU64::new(0)) }
+        TieredCache {
+            disk,
+            hot: None,
+            l1_hits: metrics::Counter::detached(),
+            promotions: metrics::Counter::detached(),
+        }
     }
 
     /// A tiered cache with a fresh, empty hot tier above `disk`.
@@ -121,8 +132,20 @@ impl TieredCache {
         TieredCache {
             disk,
             hot: Some(Arc::new(HotTier::default())),
-            l1_hits: Arc::new(AtomicU64::new(0)),
+            l1_hits: metrics::Counter::detached(),
+            promotions: metrics::Counter::detached(),
         }
+    }
+
+    /// Rebinds both tiers' counters to the global telemetry registry
+    /// under `sweep_cache_*_total{cache=<domain>}` (consuming builder;
+    /// see [`Cache::with_metrics`] for identity semantics).
+    pub fn with_metrics(mut self, domain: &str) -> TieredCache {
+        let labels = [("cache", domain)];
+        self.disk = self.disk.with_metrics(domain);
+        self.l1_hits = metrics::counter("sweep_cache_l1_hits_total", &labels);
+        self.promotions = metrics::counter("sweep_cache_promotions_total", &labels);
+        self
     }
 
     /// Adds a fresh hot tier to this cache if it has none (keeps the
@@ -168,11 +191,12 @@ impl TieredCache {
             if let Some(hot) = &self.hot {
                 let key = stable_hash_hex(input.as_bytes());
                 if let Some(result) = hot.probe(&key, input) {
-                    self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                    self.l1_hits.inc();
                     return Some(result);
                 }
                 let result = self.disk.lookup(label, input)?;
                 hot.insert(key, input, &result);
+                self.promotions.inc();
                 return Some(result);
             }
         }
@@ -212,7 +236,7 @@ impl TieredCache {
     /// `l1_hits` is the memory-only subset.
     pub fn report(&self) -> CacheReport {
         let mut report = self.disk.report();
-        let l1 = self.l1_hits.load(Ordering::Relaxed);
+        let l1 = self.l1_hits.get();
         report.hits += l1;
         report.l1_hits = l1;
         report
@@ -222,7 +246,8 @@ impl TieredCache {
     /// kept — contents are process-lifetime, counters are per-phase.
     pub fn reset_counters(&self) {
         self.disk.reset_counters();
-        self.l1_hits.store(0, Ordering::Relaxed);
+        self.l1_hits.reset();
+        self.promotions.reset();
     }
 }
 
@@ -332,6 +357,21 @@ mod tests {
         assert!(!plain.hot_enabled());
         plain.enable_hot_tier();
         assert!(plain.hot_enabled());
+    }
+
+    #[test]
+    fn registered_counters_expose_the_l1_split_and_promotions() {
+        let root = tmpdir("metrics");
+        Cache::new(&root, "v1").store("cell", "input-a", &result_doc(7), 0);
+        let cache =
+            TieredCache::with_hot_tier(Cache::new(&root, "v1")).with_metrics("memcache_unit_test");
+        let labels = [("cache", "memcache_unit_test")];
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(7)), "L2 hit, promoted");
+        assert_eq!(cache.lookup("cell", "input-a"), Some(result_doc(7)), "L1 hit");
+        assert_eq!(cache.report().l1_hits, 1);
+        assert_eq!(metrics::counter_value("sweep_cache_l1_hits_total", &labels), 1);
+        assert_eq!(metrics::counter_value("sweep_cache_l2_hits_total", &labels), 1);
+        assert_eq!(metrics::counter_value("sweep_cache_promotions_total", &labels), 1);
     }
 
     #[test]

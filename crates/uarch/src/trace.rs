@@ -8,7 +8,7 @@
 //! behind a branch on `None`, so the disabled path does no work beyond
 //! that test: golden results are bit-identical with and without the field
 //! (verified by the golden gate) and throughput stays within run-to-run
-//! drift (verified by `scripts/perf.sh --ab`).
+//! drift (verified by `scripts/perf.sh --ab-trace`).
 //!
 //! The one event that is *not* free to reconstruct after the fact is the
 //! policy block: when the active [`crate::SpeculationPolicy`] delays an
@@ -138,7 +138,7 @@ pub trait TraceSink: std::fmt::Debug {
 }
 
 /// The do-nothing sink: every hook is the empty default. Attaching it is
-/// how `scripts/perf.sh --ab` measures the enabled-path overhead ceiling.
+/// how `scripts/perf.sh --ab-trace` measures the enabled-path overhead ceiling.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;
 

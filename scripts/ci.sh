@@ -39,7 +39,13 @@
 #                         the in-memory hot tier (nonzero l1_hits, zero
 #                         disk reads, zero recomputes) with report bytes
 #                         identical to the first; both request latencies
-#                         land in target/ci_timing.json
+#                         land in target/ci_timing.json. While the server
+#                         is still warm, `levtop --once --json` captures a
+#                         status snapshot (target/ci_levtop.json) whose
+#                         registry counters must reconcile exactly with
+#                         the summed per-response cache splits, and the
+#                         mirrored METRICS_run.json must carry the
+#                         levioso-metrics/1 schema tag
 #
 # Every step's wall-clock is reported inline and written machine-readably
 # to target/ci_timing.json (schema levioso-ci-timing/1), so a CI run's
@@ -144,6 +150,15 @@ step_serve_smoke() {
       exit 1
     fi
   done
+  # Introspection while the server is still warm: one status snapshot via
+  # the dashboard's scripting mode.
+  if ! target/release/levtop "$jobs" --smoke --once --json --timeout-secs 60 \
+      > target/ci_levtop.json 2> target/ci_levtop.err; then
+    kill "$server" 2>/dev/null || true
+    echo "ERROR: serve smoke: levtop --once --json failed:" >&2
+    cat target/ci_levtop.err >&2
+    exit 1
+  fi
   if ! target/release/levq "$jobs" shutdown --id ci-bye --timeout-secs 60 >/dev/null 2>&1; then
     kill "$server" 2>/dev/null || true
     echo "ERROR: serve smoke: shutdown request failed" >&2
@@ -171,8 +186,37 @@ step_serve_smoke() {
   warm_s=$(sed -nE 's/^levq: id=ci-warm .*wall_seconds=([0-9.]+).*/\1/p' target/ci_serve_ci-warm.err)
   step_names+=("serve smoke: cold levq check" "serve smoke: warm levq check")
   step_seconds+=("${cold_s:-0}" "${warm_s:-0}")
+  # The status snapshot's registry counters and the per-response splits
+  # are the same atomics: the cumulative bench-cache counters must equal
+  # the cold+warm splits summed, or the telemetry is lying.
+  local reg_l1 reg_l2 reg_miss
+  reg_l1=$(sed -nE 's/.*"sweep_cache_l1_hits_total\{cache=bench\}": "([0-9]+)".*/\1/p' target/ci_levtop.json)
+  reg_l2=$(sed -nE 's/.*"sweep_cache_l2_hits_total\{cache=bench\}": "([0-9]+)".*/\1/p' target/ci_levtop.json)
+  reg_miss=$(sed -nE 's/.*"sweep_cache_misses_total\{cache=bench\}": "([0-9]+)".*/\1/p' target/ci_levtop.json)
+  if [[ -z "$reg_l1" || -z "$reg_l2" || -z "$reg_miss" ]]; then
+    echo "ERROR: serve smoke: status snapshot is missing the bench cache counters" >&2
+    exit 1
+  fi
+  local sum_l1=0 sum_l2=0 sum_miss=0 f
+  for f in target/ci_serve_ci-cold.err target/ci_serve_ci-warm.err; do
+    sum_l1=$((sum_l1 + $(sed -nE 's/.* l1_hits=([0-9]+).*/\1/p' "$f")))
+    sum_l2=$((sum_l2 + $(sed -nE 's/.* l2_hits=([0-9]+).*/\1/p' "$f")))
+    sum_miss=$((sum_miss + $(sed -nE 's/.* misses=([0-9]+).*/\1/p' "$f")))
+  done
+  if [[ "$reg_l1" -ne "$sum_l1" || "$reg_l2" -ne "$sum_l2" || "$reg_miss" -ne "$sum_miss" ]]; then
+    echo "ERROR: serve smoke: status snapshot (l1=$reg_l1 l2=$reg_l2 miss=$reg_miss) does not" >&2
+    echo "       reconcile with the summed response splits (l1=$sum_l1 l2=$sum_l2 miss=$sum_miss)" >&2
+    exit 1
+  fi
+  echo "    status snapshot reconciles: l1=$reg_l1 l2=$reg_l2 misses=$reg_miss"
+  # Every served request refreshes the metrics mirror; it must be there
+  # and schema-tagged.
+  if ! grep -q '"schema": "levioso-metrics/1"' "$resdir/METRICS_run.json"; then
+    echo "ERROR: serve smoke: $resdir/METRICS_run.json missing or not schema-tagged" >&2
+    exit 1
+  fi
   # The server's results snapshots (cumulative throughput split + the
-  # latency book) must satisfy perfcheck's invariants too.
+  # latency book + the metrics mirror) must satisfy perfcheck too.
   LEVIOSO_RESULTS_DIR="$resdir" target/release/perfcheck
 }
 
