@@ -54,6 +54,7 @@ fn main() {
         let code = gate_mode(&sweep, tier, opts.check, start);
         write_throughput(&sweep, tier, start);
         write_metrics();
+        append_ledger(&sweep, tier, start);
         std::process::exit(code);
     }
 
@@ -72,7 +73,15 @@ fn main() {
     print_cache_summary(false);
     write_throughput(&sweep, tier, start);
     write_metrics();
+    append_ledger(&sweep, tier, start);
     eprintln!("==> regenerated everything in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Appends this run's record to `results/ledger.jsonl` — the
+/// longitudinal counterpart of the snapshot files above (rendered and
+/// gated by `levhist`).
+fn append_ledger(sweep: &Sweep, tier: Tier, start: Instant) {
+    levioso_bench::ledger::append_run("all", tier, sweep.threads(), start.elapsed().as_secs_f64());
 }
 
 /// Mirrors the final registry snapshot to `results/METRICS_run.json` —

@@ -150,6 +150,30 @@ fn main() {
     );
     check_serve_latency();
     check_metrics_run();
+    check_ledger();
+}
+
+/// Validates `results/ledger.jsonl` if runs have appended to it. Absence
+/// is fine (fresh clone); a present file must parse record-for-record —
+/// the loader is strict and names the corrupt line. Judging the trends
+/// is delegated to `levhist --check`; perfcheck only guarantees the
+/// sentinel's input is well-formed.
+fn check_ledger() {
+    let path = levioso_bench::ledger::ledger_path();
+    if !path.exists() {
+        return;
+    }
+    let records = match levioso_support::ledger::load(&path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("perfcheck: {e}");
+            exit(1);
+        }
+    };
+    let series = levioso_support::ledger::series_of(&records);
+    let checkable =
+        series.iter().filter(|s| s.points.len() >= levioso_support::ledger::MIN_SAMPLES).count();
+    println!("LEDGER records={} series={} checkable={checkable}", records.len(), series.len());
 }
 
 /// Validates `results/BENCH_serve_latency.json` if a server wrote one.

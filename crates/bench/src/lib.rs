@@ -40,6 +40,7 @@ pub mod cellcache;
 pub mod cli;
 pub mod corerev;
 pub mod gate;
+pub mod ledger;
 pub mod serve;
 pub mod sweep;
 pub mod throughput;

@@ -539,6 +539,16 @@ pub fn serve(dir: &PathBuf) -> i32 {
     cellcache::enable_hot_tier();
     levioso_nisec::cellcache::enable_hot_tier();
     let mut server = Server::new();
+    // Crashed writers (ours or a client's) leave `.tmp-*` staging files
+    // behind forever; anything older than this server's start cannot
+    // belong to a write that is still in flight. The results dir gets
+    // the same sweep — the ledger appender stages there.
+    for swept in [dir.as_path(), cli::results_dir().as_path()] {
+        let orphans = jobdir::sweep_orphan_temps(swept, server.started);
+        if orphans > 0 {
+            eprintln!("==> swept {orphans} orphaned temp file(s) from {}", swept.display());
+        }
+    }
     eprintln!(
         "==> serving job directory {} (fingerprint {}, hot tier on); submit requests with levq, \
          stop with the \"{SHUTDOWN_SELECTOR}\" selector",
@@ -548,6 +558,15 @@ pub fn serve(dir: &PathBuf) -> i32 {
     loop {
         match server.poll_once(dir) {
             Poll::Shutdown => {
+                // The session's one ledger record: cumulative throughput
+                // and cache totals plus the per-selector latency book.
+                crate::ledger::append_with_latency(
+                    "serve",
+                    server.last_tier,
+                    server.last_threads,
+                    server.process_start.elapsed().as_secs_f64(),
+                    &server.latency,
+                );
                 eprintln!(
                     "==> shutting down after {} request(s) in {:.1}s",
                     server.book.len(),

@@ -179,11 +179,14 @@ pub fn emit(opts: &Opts, id: &str, rendered: &str, json: Option<String>) {
 
 /// Prints the unified end-of-run summary line (cells, cache split,
 /// wall-clock — see [`levioso_bench::cli::run_summary`]) to stderr, so
-/// stdout report bytes stay identical with or without it. Every
-/// fig/table binary calls this last, with the `Instant` it captured at
-/// entry.
-pub fn finish(start: std::time::Instant) {
-    eprintln!("{}", levioso_bench::cli::run_summary(start.elapsed().as_secs_f64()));
+/// stdout report bytes stay identical with or without it, and appends
+/// this run's record to `results/ledger.jsonl` (see
+/// [`levioso_bench::ledger`]). Every fig/table binary calls this last,
+/// naming itself and passing the `Instant` it captured at entry.
+pub fn finish(opts: &Opts, id: &str, start: std::time::Instant) {
+    let wall_seconds = start.elapsed().as_secs_f64();
+    eprintln!("{}", levioso_bench::cli::run_summary(wall_seconds));
+    levioso_bench::ledger::append_run(id, opts.tier, opts.sweep().threads(), wall_seconds);
 }
 
 /// When `--attrib` was given: runs the delay-attribution report for

@@ -406,4 +406,25 @@ fn served_smoke_check_is_byte_identical_to_the_cold_cli_and_warms_the_memory_tie
         std::thread::sleep(Duration::from_millis(20));
     };
     assert!(code.success(), "server exited nonzero: {code:?}");
+
+    // The shutdown record: the serve session appends exactly one ledger
+    // line, carrying the same per-selector latency distributions the
+    // latency book rendered (as microsecond percentile digests).
+    let ledger = levioso_support::ledger::load(&results.join("ledger.jsonl"))
+        .expect("the serve ledger parses");
+    let rec: Vec<_> = ledger.iter().filter(|r| r.source == "serve").collect();
+    assert_eq!(rec.len(), 1, "one shutdown record for the whole session");
+    assert_eq!(rec[0].fingerprint, levioso_uarch::core_fingerprint());
+    assert!(rec[0].cells > 0, "the session simulated fresh cells");
+    let check_lat = rec[0]
+        .latency
+        .iter()
+        .find(|(selector, _)| selector == "check")
+        .map(|(_, digest)| *digest)
+        .expect("a latency digest for the check selector");
+    assert_eq!(check_lat.count, 2, "both check requests in one digest");
+    assert!(
+        check_lat.p50_micros > 0 && check_lat.p50_micros <= check_lat.p95_micros,
+        "ordered percentiles: {check_lat:?}"
+    );
 }

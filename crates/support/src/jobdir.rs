@@ -92,6 +92,34 @@ pub fn write_atomic(dir: &Path, filename: &str, doc: &Json) -> io::Result<()> {
     })
 }
 
+/// Removes orphaned atomic-write staging files — `.tmp-*` names whose
+/// modification time is strictly older than `cutoff` — from `dir`,
+/// returning how many were deleted. A writer that crashed between its
+/// temp write and the `rename` leaves such a file behind forever (no
+/// live process will ever pick its pid+sequence name again), so the
+/// serve loop calls this at startup with its own start time as the
+/// cutoff: anything older cannot belong to a write that is still in
+/// flight. Non-temp files and fresh temps are never touched; an
+/// unreadable directory sweeps nothing.
+pub fn sweep_orphan_temps(dir: &Path, cutoff: std::time::SystemTime) -> usize {
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with(".tmp-") {
+            continue;
+        }
+        let old = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .map(|mtime| mtime < cutoff)
+            .unwrap_or(false);
+        if old && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// One job: run `selector` (a figure/table/meta selector the server
 /// interprets, e.g. `check` or `table4`) at `tier` with `threads`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -348,6 +376,29 @@ mod tests {
     fn request_round_trips_exactly() {
         let req = request("req-1");
         assert_eq!(Request::from_json(&req.to_json()), Ok(req));
+    }
+
+    #[test]
+    fn orphan_sweep_removes_only_stale_temps() {
+        let dir = tmpdir("orphans");
+        std::fs::write(dir.join(".tmp-999-0"), "crashed writer leftover").unwrap();
+        std::fs::write(dir.join(".tmp-999-1"), "another one").unwrap();
+        std::fs::write(dir.join("live.req.json"), "{}").unwrap();
+        // mtime granularity guard: make sure the cutoff lands strictly
+        // after the stale files and strictly before the fresh one.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let cutoff = std::time::SystemTime::now();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        std::fs::write(dir.join(".tmp-1000-0"), "in-flight write").unwrap();
+        assert_eq!(sweep_orphan_temps(&dir, cutoff), 2);
+        assert!(!dir.join(".tmp-999-0").exists());
+        assert!(!dir.join(".tmp-999-1").exists());
+        assert!(dir.join(".tmp-1000-0").exists(), "fresh temps must survive");
+        assert!(dir.join("live.req.json").exists(), "non-temp files must survive");
+        // Idempotent: nothing stale left.
+        assert_eq!(sweep_orphan_temps(&dir, cutoff), 0);
+        assert_eq!(sweep_orphan_temps(&dir.join("missing"), cutoff), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

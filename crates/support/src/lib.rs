@@ -18,6 +18,7 @@
 //! | [`jobdir`] | — | the job-directory request/response protocol for `all --serve` |
 //! | [`histogram`] | `hdrhistogram` | fixed-footprint log2-bucketed latency histograms |
 //! | [`metrics`] | `prometheus` | lock-free counters/gauges/timers with deterministic JSON snapshots |
+//! | [`ledger`] | — | the append-only per-run perf ledger and its regression sentinel |
 //!
 //! All randomness is deterministic: the same seed always reproduces the
 //! same stream, on every platform, so property tests and workload inputs
@@ -32,6 +33,7 @@ pub mod check;
 pub mod histogram;
 pub mod jobdir;
 pub mod json;
+pub mod ledger;
 pub mod memcache;
 pub mod metrics;
 pub mod pool;

@@ -37,7 +37,7 @@
 //! ones for the process-wide caches, so per-instance reports and fleet
 //! telemetry share one implementation.
 
-use crate::histogram::{Histogram, BUCKETS};
+use crate::histogram::{bucket_index, Histogram, BUCKETS};
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
@@ -207,7 +207,7 @@ impl AtomicHistogram {
     }
 
     fn record(&self, value: u64) {
-        self.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }

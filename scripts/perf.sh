@@ -7,6 +7,10 @@
 #
 # The second run's snapshot is the one left on disk; the recorded
 # `baseline` object is preserved across runs (see the `all` driver).
+# Every measured run here also appends a levioso-ledger/1 record to
+# results/ledger.jsonl (the driver does this on every run), so repeated
+# perf.sh sessions build the longitudinal history `levhist` renders and
+# `levhist --check` gates on.
 #
 # Both runs force --no-cache: a throughput measurement must simulate
 # every cell, never replay one from target/sweep-cache/ — a cache hit
